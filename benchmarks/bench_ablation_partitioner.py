@@ -1,0 +1,93 @@
+"""A2 — ablation: the multilevel k-way partitioner against cheaper
+alternatives (random balanced assignment, greedy growing without
+refinement).
+
+DESIGN.md calls out the partitioner quality as a design choice — the METIS
+stand-in must earn its complexity on decomposition-graph-like inputs.  The
+comparison holds the balance constraint fixed: a partition only counts if
+its load imbalance is within the feasibility bound, since an unbalanced
+partition can always buy a smaller edge-cut (the k=1 "partition" cuts
+nothing).
+"""
+
+import numpy as np
+
+from repro.core.weights import step2_graph
+from repro.dse import decompose, exchange_bus_sets
+from repro.grid.cases import synthetic_grid
+from repro.partition import (
+    edge_cut,
+    greedy_growing,
+    load_imbalance,
+    partition_kway,
+)
+
+IMBALANCE_BOUND = 1.25
+
+
+def _best_feasible_random(g, k, rng, tries=500):
+    """Best edge-cut among random assignments meeting the balance bound."""
+    best = None
+    feasible = 0
+    for _ in range(tries):
+        part = rng.integers(0, k, g.n_vertices)
+        if load_imbalance(g, part, k) > IMBALANCE_BOUND:
+            continue
+        feasible += 1
+        cut = edge_cut(g, part)
+        if best is None or cut < best:
+            best = cut
+    return best, feasible
+
+
+def _report(name, g, part, k):
+    cut = edge_cut(g, part)
+    imb = load_imbalance(g, part, k)
+    print(f"  {name:>22}: edge-cut {cut:6d}  imbalance {imb:.3f}")
+    return cut, imb
+
+
+def test_ablation_partitioner_118(benchmark, dec118):
+    sets = exchange_bus_sets(dec118)
+    g = step2_graph(dec118, 1.0, sets)
+    k = 3
+    rng = np.random.default_rng(0)
+
+    res = benchmark(partition_kway, g, k, seed=0)
+
+    print("\nA2 — partitioner ablation on the IEEE-118 Step-2 graph (k=3)")
+    cut_ml, imb_ml = _report("multilevel k-way", g, res.part, k)
+    cut_rand, feasible = _best_feasible_random(g, k, rng)
+    print(f"  {'random (feasible best)':>22}: edge-cut {cut_rand:6d}  "
+          f"({feasible} feasible of 500)")
+    greedy = greedy_growing(g, k, np.random.default_rng(0))
+    cut_greedy, imb_greedy = _report("greedy growing only", g, greedy, k)
+
+    assert imb_ml <= IMBALANCE_BOUND
+    assert cut_ml <= cut_rand
+    if imb_greedy <= IMBALANCE_BOUND:
+        assert cut_ml <= cut_greedy
+
+
+def test_ablation_partitioner_wecc_scale(benchmark):
+    net = synthetic_grid(n_areas=37, buses_per_area=20, seed=3)
+    dec = decompose(net, 37, seed=0)
+    g = step2_graph(dec, 1.0)
+    k = 6
+    rng = np.random.default_rng(1)
+
+    res = benchmark(partition_kway, g, k, seed=0)
+
+    print("\nA2 — partitioner ablation on a 37-subsystem quotient graph (k=6)")
+    cut_ml, imb_ml = _report("multilevel k-way", g, res.part, k)
+    cut_rand, feasible = _best_feasible_random(g, k, rng)
+    print(f"  {'random (feasible best)':>22}: edge-cut {cut_rand}  "
+          f"({feasible} feasible of 500)")
+    greedy = greedy_growing(g, k, np.random.default_rng(1))
+    cut_greedy, imb_greedy = _report("greedy growing only", g, greedy, k)
+
+    assert imb_ml <= IMBALANCE_BOUND
+    if cut_rand is not None:
+        assert cut_ml < cut_rand
+    if imb_greedy <= IMBALANCE_BOUND:
+        assert cut_ml <= cut_greedy

@@ -1,0 +1,48 @@
+"""E7 — Figure 8: middleware overhead is linear in the data size.
+
+The paper plots the absolute overhead (T2-T1 and T4-T3) against payload
+size from 100 MB to 2 GB and observes a linear trend.  We regenerate the
+series on the simulated testbed at the paper's sizes and fit a line: the
+check is R² ≈ 1 and a positive slope whose inverse is the relay rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MiddlewareCostModel, pnnl_testbed
+
+
+def _series(sizes, mw, link):
+    return np.array([mw.overhead(s, link) for s in sizes])
+
+
+def test_fig8_overhead_linear_trend(benchmark):
+    topo = pnnl_testbed()
+    mw = MiddlewareCostModel()
+    sizes = np.array([100e6, 200e6, 500e6, 1000e6, 2000e6])
+
+    local_link = topo.loopback
+    lan_link = topo.link("nwiceb", "chinook")
+    ov_local = benchmark(_series, sizes, mw, local_link)
+    ov_lan = _series(sizes, mw, lan_link)
+
+    print("\nFigure 8 (reproduced) — middleware overhead vs data size")
+    print(f"{'size (MB)':>9} | {'overhead local (s)':>18} | "
+          f"{'overhead LAN (s)':>16}")
+    for s, o1, o2 in zip(sizes, ov_local, ov_lan):
+        print(f"{s / 1e6:9.0f} | {o1:18.3f} | {o2:16.3f}")
+
+    for series in (ov_local, ov_lan):
+        A = np.column_stack([sizes, np.ones_like(sizes)])
+        coef, res, *_ = np.linalg.lstsq(A, series, rcond=None)
+        pred = A @ coef
+        ss_res = np.sum((series - pred) ** 2)
+        ss_tot = np.sum((series - series.mean()) ** 2)
+        r2 = 1 - ss_res / ss_tot
+        slope = coef[0]
+        print(f"linear fit: slope {slope * 1e9:.3f} s/GB, R^2 = {r2:.6f}")
+        assert r2 > 0.999  # the paper's "linear trend"
+        assert slope > 0
+        # inverse slope = relay rate ≈ 0.4 GB/s
+        assert 1 / slope == pytest.approx(0.4e9, rel=0.05)
+

@@ -1,0 +1,46 @@
+"""E9 — section V-A claim: "partitioning is typically much faster than
+running state estimation computations".
+
+The mapping method re-runs the partitioner every time frame, which is only
+viable if its cost is negligible next to the estimation it schedules.  We
+time both on the IEEE 118 setup: the full (re)mapping (weight estimation +
+k-way partition + Step-2 repartition) against a single subsystem's WLS and
+the whole-system WLS.
+"""
+
+import time
+
+import numpy as np
+
+from repro.cluster import pnnl_testbed
+from repro.core import ClusterMapper
+from repro.dse import exchange_bus_sets
+from repro.estimation import estimate_state
+
+
+def test_partition_much_faster_than_se(benchmark, dec118, mset118, net118):
+    mapper = ClusterMapper(pnnl_testbed(), seed=0)
+    sets = exchange_bus_sets(dec118)
+
+    def full_mapping_cycle():
+        m1 = mapper.map_step1(dec118, 1.0)
+        m2, _ = mapper.remap_step2(dec118, 1.0, m1, sets)
+        return m1, m2
+
+    benchmark(full_mapping_cycle)
+
+    # time both sides once for the reported ratio
+    t0 = time.perf_counter()
+    for _ in range(5):
+        full_mapping_cycle()
+    t_map = (time.perf_counter() - t0) / 5
+
+    t0 = time.perf_counter()
+    estimate_state(net118, mset118)
+    t_se = time.perf_counter() - t0
+
+    print(f"\nmapping cycle: {t_map * 1e3:.2f} ms; "
+          f"whole-system WLS: {t_se * 1e3:.2f} ms; "
+          f"ratio SE/mapping = {t_se / t_map:.1f}x")
+    # the paper's claim: partitioning ≪ estimation
+    assert t_map < t_se

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Run the benchmarks with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the reproduced table/figure rows each benchmark prints.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.dse import decompose, dse_pmu_placement
+from repro.grid import run_ac_power_flow
+from repro.grid.cases import case118
+from repro.measurements import full_placement, generate_measurements
+
+
+@pytest.fixture(scope="session")
+def net118():
+    return case118()
+
+
+@pytest.fixture(scope="session")
+def pf118(net118):
+    return run_ac_power_flow(net118)
+
+
+@pytest.fixture(scope="session")
+def dec118(net118):
+    return decompose(net118, 9, seed=0)
+
+
+@pytest.fixture(scope="session")
+def mset118(net118, pf118, dec118):
+    rng = np.random.default_rng(0)
+    placement = full_placement(net118).merged_with(dse_pmu_placement(dec118))
+    return generate_measurements(net118, placement, pf118, rng=rng)

@@ -1,0 +1,120 @@
+"""MeDICi-style pipeline between two state estimators (paper, Figure 7).
+
+Run with::
+
+    python examples/middleware_pipeline.py
+
+Builds a real TCP pipeline on localhost ("nwiceb" estimator → relay →
+"chinook" estimator), pushes pseudo-measurement payloads through it, and
+compares against a direct socket transfer — the experiment behind the
+paper's Tables III/IV and Figure 8, scaled to laptop-friendly sizes.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.middleware import (
+    MifComponent,
+    MifPipeline,
+    TcpTransport,
+    pack_state_update,
+    unpack_state_update,
+)
+
+
+def time_direct(payload: bytes, repeats: int = 5) -> float:
+    """Median time of a direct TCP transfer (sender -> receiver)."""
+    transport = TcpTransport()
+    listener = transport.listen("tcp://127.0.0.1:0")
+    done = threading.Event()
+
+    def receiver():
+        conn = listener.accept(timeout=5)
+        for _ in range(repeats):
+            conn.recv_bytes(timeout=10)
+            done.set()
+        conn.close()
+
+    th = threading.Thread(target=receiver, daemon=True)
+    th.start()
+    conn = transport.connect(listener.endpoint.url)
+    times = []
+    for _ in range(repeats):
+        done.clear()
+        t0 = time.perf_counter()
+        conn.send_bytes(payload)
+        done.wait(timeout=10)
+        times.append(time.perf_counter() - t0)
+    conn.close()
+    listener.close()
+    return float(np.median(times))
+
+
+def time_relayed(payload: bytes, repeats: int = 5) -> float:
+    """Median time via a MeDICi-style pipeline relay."""
+    transport = TcpTransport()
+    sink = transport.listen("tcp://127.0.0.1:0")
+
+    pipeline = MifPipeline()
+    se = MifComponent("SE")
+    pipeline.add_mif_component(se)
+    se.set_in_endpoint("tcp://127.0.0.1:0")  # the paper's nwiceb:6789
+    se.set_out_endpoint(sink.endpoint.url)  # the paper's chinook:7890
+    pipeline.start()
+
+    done = threading.Event()
+
+    def receiver():
+        conn = sink.accept(timeout=5)
+        for _ in range(repeats):
+            conn.recv_bytes(timeout=10)
+            done.set()
+        conn.close()
+
+    th = threading.Thread(target=receiver, daemon=True)
+    th.start()
+    conn = transport.connect(se.in_endpoint)
+    times = []
+    for _ in range(repeats):
+        done.clear()
+        t0 = time.perf_counter()
+        conn.send_bytes(payload)
+        done.wait(timeout=10)
+        times.append(time.perf_counter() - t0)
+    conn.close()
+    pipeline.stop()
+    sink.close()
+    return float(np.median(times))
+
+
+def main() -> None:
+    # First: a structured state-update exchange, as the estimators send it.
+    rng = np.random.default_rng(0)
+    ids = np.arange(27, dtype=np.int64)  # a Table-I-sized exchange set
+    update = pack_state_update(ids, 1 + 0.01 * rng.standard_normal(27),
+                               0.1 * rng.standard_normal(27))
+    print(f"state update for 27 buses = {len(update)} bytes")
+    t = time_relayed(update)
+    print(f"relayed through the pipeline in {t * 1e3:.3f} ms "
+          f"(the actual DSE Step-2 exchange unit)\n")
+
+    # Then the Table III sweep, scaled from the paper's 100 MB - 2 GB down
+    # to 256 KB - 8 MB (same shape, laptop-sized).
+    print(f"{'size':>8} | {'direct T1 (ms)':>14} | {'w/ MeDICi T2 (ms)':>17} "
+          f"| {'overhead (ms)':>13}")
+    print("-" * 62)
+    for size in (256 * 1024, 1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024,
+                 8 * 1024 * 1024):
+        payload = b"\x5a" * size
+        t1 = time_direct(payload)
+        t2 = time_relayed(payload)
+        print(f"{size // 1024:6d}KB | {t1 * 1e3:14.3f} | {t2 * 1e3:17.3f} "
+              f"| {(t2 - t1) * 1e3:13.3f}")
+    print("\noverhead grows with size (store-and-forward copy), matching "
+          "the paper's linear trend (Fig. 8)")
+
+
+if __name__ == "__main__":
+    main()

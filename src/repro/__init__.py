@@ -1,0 +1,48 @@
+"""repro — distributed power grid state estimation on (simulated) HPC clusters.
+
+Reproduction of Liu, Jiang, Jin, Rice, Chen:
+"Distributing Power Grid State Estimation on HPC Clusters — A System
+Architecture Prototype" (IPDPS Workshops, 2012).
+
+Subpackages
+-----------
+grid
+    Power network model: buses, branches, admittance matrices, AC/DC power
+    flow, IEEE test cases and a synthetic grid generator.
+measurements
+    Measurement model: h(x), sparse Jacobians, noisy measurement generation,
+    SCADA scan cycles and PMU streams, observable metering placement.
+estimation
+    Weighted-least-squares state estimation with direct and preconditioned
+    conjugate-gradient solvers, observability analysis, bad-data detection.
+partition
+    Multilevel k-way weighted graph partitioner (METIS stand-in) with
+    adaptive repartitioning.
+dse
+    Distributed state estimation: decomposition into subsystems, boundary /
+    sensitive bus identification, the two-step DSE algorithm and the
+    hierarchical baseline.
+cluster
+    Simulated HPC clusters: discrete-event engine, topology and cost models,
+    an MPI-like communicator, and a real thread-based executor.
+middleware
+    MeDICi-style pipeline middleware: URL endpoints, TCP / in-process
+    transports, relay pipelines and the client API.
+core
+    The paper's contribution: graph-weight estimation, the mapping method
+    that places subsystems onto clusters for DSE Step 1 / Step 2, and the
+    end-to-end architecture and session runner.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "grid",
+    "measurements",
+    "estimation",
+    "partition",
+    "dse",
+    "cluster",
+    "middleware",
+    "core",
+]

@@ -1,0 +1,39 @@
+"""Simulated HPC cluster substrate: event engine, topology, MPI, executors."""
+
+from .costmodel import MiddlewareCostModel, WlsCostModel, calibrate_wls_cost
+from .parallel_pcg import ParallelPcgResult, simulate_parallel_pcg
+from .executor import (
+    ExchangeTiming,
+    MessageSpec,
+    PhaseTiming,
+    SimExecutor,
+    TaskSpec,
+    ThreadExecutor,
+)
+from .simevent import Process, SimEngine, SimEvent, Timeout
+from .simmpi import SimComm, SimMessage
+from .topology import ClusterSpec, ClusterTopology, LinkSpec, pnnl_testbed
+
+__all__ = [
+    "SimEngine",
+    "SimEvent",
+    "Timeout",
+    "Process",
+    "SimComm",
+    "SimMessage",
+    "ClusterSpec",
+    "ClusterTopology",
+    "LinkSpec",
+    "pnnl_testbed",
+    "WlsCostModel",
+    "MiddlewareCostModel",
+    "calibrate_wls_cost",
+    "ParallelPcgResult",
+    "simulate_parallel_pcg",
+    "TaskSpec",
+    "MessageSpec",
+    "PhaseTiming",
+    "ExchangeTiming",
+    "SimExecutor",
+    "ThreadExecutor",
+]

@@ -1,0 +1,196 @@
+"""Rank-distributed preconditioned conjugate gradient over simulated MPI.
+
+The paper's HPC state estimator (after Chen et al. [2]) solves the gain
+system with a *parallel* PCG.  This module reproduces that kernel on the
+cluster substrate: the matrix is split into row blocks, one simulated MPI
+rank per block; each CG iteration performs
+
+- a local sparse matvec on the owned rows (compute, charged to the rank's
+  cluster core),
+- an allgather of the updated solution segment (the halo exchange),
+- two allreduce-style scalar reductions for the CG coefficients.
+
+The numerics are genuinely computed per-rank (each rank only touches its
+rows), so the distributed result is checked bit-for-bit against a serial
+solve, while the discrete-event engine produces the parallel timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .simevent import SimEngine, Timeout
+from .simmpi import SimComm
+from .topology import ClusterTopology
+
+__all__ = ["ParallelPcgResult", "simulate_parallel_pcg"]
+
+#: seconds of simulated compute per local nonzero per iteration
+_DEFAULT_FLOP_TIME = 4e-9
+
+
+@dataclass
+class ParallelPcgResult:
+    """Distributed solve outcome with its simulated execution profile."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    sim_time: float
+    bytes_communicated: float
+    messages: int
+    n_ranks: int
+
+
+def simulate_parallel_pcg(
+    A: sp.spmatrix,
+    b: np.ndarray,
+    blocks: list[np.ndarray],
+    topology: ClusterTopology,
+    placement: list[str],
+    *,
+    tol: float = 1e-10,
+    max_iter: int | None = None,
+    flop_time: float = _DEFAULT_FLOP_TIME,
+) -> ParallelPcgResult:
+    """Run Jacobi-PCG with one simulated rank per row block.
+
+    Parameters
+    ----------
+    A, b:
+        The SPD system (global).
+    blocks:
+        Row-index arrays, one per rank; must partition ``range(n)``.
+    topology, placement:
+        Cluster model and per-rank cluster names (``len == len(blocks)``).
+    tol:
+        Relative-residual convergence tolerance.
+    flop_time:
+        Simulated seconds per local nonzero per matvec.
+    """
+    n = A.shape[0]
+    seen = np.concatenate(blocks) if blocks else np.array([], dtype=np.int64)
+    if len(seen) != n or len(np.unique(seen)) != n:
+        raise ValueError("blocks must partition range(n)")
+    if len(placement) != len(blocks):
+        raise ValueError("placement length must match block count")
+    if max_iter is None:
+        max_iter = 10 * n
+
+    A = A.tocsr()
+    P = len(blocks)
+    diag = A.diagonal()
+    if np.any(diag <= 0):
+        raise ValueError("matrix has non-positive diagonal; not SPD")
+
+    local_A = [A[blk] for blk in blocks]
+    local_b = [b[blk] for blk in blocks]
+    local_minv = [1.0 / diag[blk] for blk in blocks]
+    local_nnz = [m.nnz for m in local_A]
+
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return ParallelPcgResult(
+            x=np.zeros(n), converged=True, iterations=0, residual_norm=0.0,
+            sim_time=0.0, bytes_communicated=0.0, messages=0, n_ranks=P,
+        )
+
+    engine = SimEngine()
+    comm = SimComm(engine, topology, placement)
+
+    # Shared solve state, assembled from per-rank segments each iteration.
+    state = {
+        "x": np.zeros(n),
+        "p": None,
+        "r": [local_b[r].copy() for r in range(P)],
+        "z": None,
+        "rz": 0.0,
+        "iterations": 0,
+        "converged": False,
+        "residual": 1.0,
+    }
+
+    def rank_proc(rank: int):
+        blk = blocks[rank]
+        Ar = local_A[rank]
+        minv = local_minv[rank]
+        seg_bytes = len(blk) * 8.0
+
+        # z0 = M^-1 r0 ; p0 = z0 (assembled via allgather of segments)
+        z_loc = minv * state["r"][rank]
+        rz_loc = float(state["r"][rank] @ z_loc)
+        # scalar reduction for rz (8 bytes per rank)
+        parts = yield from comm.allgather((rank, rz_loc, z_loc), nbytes=seg_bytes + 8,
+                                          rank=rank)
+        if rank == 0:
+            z = np.empty(n)
+            rz = 0.0
+            for rr, rzl, zl in parts:
+                z[blocks[rr]] = zl
+                rz += rzl
+            state["z"] = z
+            state["p"] = z.copy()
+            state["rz"] = rz
+        yield from comm.barrier(rank=rank)
+
+        for k in range(1, max_iter + 1):
+            # local matvec on owned rows: q_loc = A[blk, :] @ p (global p)
+            yield Timeout(local_nnz[rank] * flop_time)
+            q_loc = Ar @ state["p"]
+            pq_loc = float(state["p"][blk] @ q_loc)
+            parts = yield from comm.allgather((rank, pq_loc, q_loc),
+                                              nbytes=seg_bytes + 8, rank=rank)
+            if rank == 0:
+                q = np.empty(n)
+                pq = 0.0
+                for rr, pql, ql in parts:
+                    q[blocks[rr]] = ql
+                    pq += pql
+                alpha = state["rz"] / pq
+                state["x"] += alpha * state["p"]
+                for rr in range(P):
+                    state["r"][rr] = state["r"][rr] - alpha * q[blocks[rr]]
+                rnorm = float(
+                    np.sqrt(sum(float(s @ s) for s in state["r"]))
+                )
+                state["residual"] = rnorm / bnorm
+                state["iterations"] = k
+                if state["residual"] < tol:
+                    state["converged"] = True
+            yield from comm.barrier(rank=rank)
+            if state["converged"]:
+                return
+
+            z_loc = minv * state["r"][rank]
+            rz_loc = float(state["r"][rank] @ z_loc)
+            parts = yield from comm.allgather((rank, rz_loc, z_loc),
+                                              nbytes=seg_bytes + 8, rank=rank)
+            if rank == 0:
+                z = np.empty(n)
+                rz_new = 0.0
+                for rr, rzl, zl in parts:
+                    z[blocks[rr]] = zl
+                    rz_new += rzl
+                beta = rz_new / state["rz"]
+                state["p"] = z + beta * state["p"]
+                state["rz"] = rz_new
+            yield from comm.barrier(rank=rank)
+
+    for r in range(P):
+        engine.process(rank_proc(r), name=f"pcg-rank{r}")
+    sim_time = engine.run()
+
+    return ParallelPcgResult(
+        x=state["x"].copy(),
+        converged=state["converged"],
+        iterations=state["iterations"],
+        residual_norm=state["residual"],
+        sim_time=sim_time,
+        bytes_communicated=comm.stats_bytes,
+        messages=comm.stats_messages,
+        n_ranks=P,
+    )

@@ -1,0 +1,148 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal process-oriented simulator: processes are Python generators that
+yield *requests* (timeouts, events); the engine advances virtual time and
+resumes them.  All ordering is deterministic — ties in time break by
+scheduling sequence — so simulated experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+__all__ = ["SimEngine", "SimEvent", "Timeout", "Process"]
+
+
+@dataclass(order=True)
+class _ScheduledItem:
+    time: float
+    seq: int
+    action: Callable = field(compare=False)
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    ``succeed(value)`` wakes all waiters at the current simulation time and
+    hands them ``value``.
+    """
+
+    def __init__(self, engine: "SimEngine"):
+        self.engine = engine
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for proc in self._waiters:
+            self.engine._schedule(0.0, proc._resume, self.value)
+        self._waiters.clear()
+
+
+@dataclass
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    delay: float
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    The generator may yield:
+
+    - :class:`Timeout` — resume after the delay;
+    - :class:`SimEvent` — resume when the event triggers (receiving its
+      value);
+    - ``None`` — resume immediately (a cooperative yield).
+
+    When the generator returns, :attr:`done` becomes True and
+    :attr:`result` holds its return value; processes waiting on
+    :attr:`exit_event` resume.
+    """
+
+    def __init__(self, engine: "SimEngine", gen: Generator, name: str = "proc"):
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.exit_event = SimEvent(engine)
+        engine._schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        try:
+            request = self.gen.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            self.exit_event.succeed(stop.value)
+            return
+        if isinstance(request, Timeout):
+            if request.delay < 0:
+                raise ValueError(f"negative timeout in {self.name}")
+            self.engine._schedule(request.delay, self._resume, None)
+        elif isinstance(request, SimEvent):
+            if request.triggered:
+                self.engine._schedule(0.0, self._resume, request.value)
+            else:
+                request._waiters.append(self)
+        elif request is None:
+            self.engine._schedule(0.0, self._resume, None)
+        else:
+            raise TypeError(
+                f"process {self.name} yielded unsupported {request!r}"
+            )
+
+
+class SimEngine:
+    """The event loop: schedules actions in virtual time and runs to idle."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[_ScheduledItem] = []
+        self._seq = 0
+
+    def _schedule(self, delay: float, action: Callable, *args) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._queue,
+            _ScheduledItem(self.now + delay, self._seq, lambda: action(*args)),
+        )
+
+    def schedule(self, delay: float, action: Callable, *args) -> None:
+        """Run ``action(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._schedule(delay, action, *args)
+
+    def process(self, gen: Generator, name: str = "proc") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, gen, name)
+
+    def event(self) -> SimEvent:
+        """Create a fresh event."""
+        return SimEvent(self)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or simulated time passes ``until``).
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            item = self._queue[0]
+            if until is not None and item.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = item.time
+            item.action()
+        return self.now

@@ -1,0 +1,118 @@
+"""Cluster and network topology model.
+
+Describes the execution environment of the paper's testbed: a handful of
+HPC clusters (the paper names Nwiceb, Catamount and Chinook) with per-node
+compute rates, joined by network links with bandwidth and latency.  The
+paper's measured figures calibrate the defaults: a ~0.4 GB/s middleware
+relay rate and LAN-class links between the workstation and the clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ClusterSpec", "LinkSpec", "ClusterTopology", "pnnl_testbed"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One HPC cluster (a balancing-authority control-centre platform)."""
+
+    name: str
+    nodes: int = 4
+    cores_per_node: int = 8
+    core_gflops: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("cluster must have at least one node and core")
+        if self.core_gflops <= 0:
+            raise ValueError("core_gflops must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A network link: latency (s) + bandwidth (bytes/s)."""
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("invalid link parameters")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass
+class ClusterTopology:
+    """A set of clusters and the links between them.
+
+    ``links[(a, b)]`` is symmetric (stored once per unordered pair);
+    ``loopback`` covers intra-cluster messaging.
+    """
+
+    clusters: list[ClusterSpec]
+    links: dict[tuple[str, str], LinkSpec] = field(default_factory=dict)
+    loopback: LinkSpec = field(
+        default_factory=lambda: LinkSpec(latency=5e-6, bandwidth=4e9)
+    )
+    default_link: LinkSpec = field(
+        default_factory=lambda: LinkSpec(latency=2e-4, bandwidth=1.0e9)
+    )
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate cluster names")
+        self._by_name = {c.name: c for c in self.clusters}
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster(self, name: str) -> ClusterSpec:
+        return self._by_name[name]
+
+    def link(self, a: str, b: str) -> LinkSpec:
+        """The link between clusters ``a`` and ``b`` (loopback if equal)."""
+        if a == b:
+            return self.loopback
+        key = (a, b) if (a, b) in self.links else (b, a)
+        return self.links.get(key, self.default_link)
+
+    def add_link(self, a: str, b: str, link: LinkSpec) -> None:
+        """Set the link between two clusters (replaces either orientation)."""
+        if a not in self._by_name or b not in self._by_name:
+            raise KeyError("unknown cluster name")
+        # keep one entry per unordered pair
+        self.links.pop((b, a), None)
+        self.links[(a, b)] = link
+
+
+def pnnl_testbed() -> ClusterTopology:
+    """The paper's three-cluster laboratory testbed analogue.
+
+    Nwiceb, Catamount and Chinook joined by a 1 Gb/s-class LAN (the measured
+    TCP rates in Table IV correspond to ~115 MB/s payload throughput).
+    """
+    clusters = [
+        ClusterSpec(name="nwiceb", nodes=4, cores_per_node=8, core_gflops=9.0),
+        ClusterSpec(name="catamount", nodes=8, cores_per_node=4, core_gflops=8.0),
+        ClusterSpec(name="chinook", nodes=16, cores_per_node=8, core_gflops=11.0),
+    ]
+    topo = ClusterTopology(clusters=clusters)
+    lan = LinkSpec(latency=2e-4, bandwidth=115e6)
+    for a in ("nwiceb", "catamount", "chinook"):
+        for b in ("nwiceb", "catamount", "chinook"):
+            if a < b:
+                topo.add_link(a, b, lan)
+    return topo

@@ -1,0 +1,122 @@
+"""Contingency definition and N-1 enumeration.
+
+State estimation exists to feed operational tools; the first of them in the
+paper's list is contingency analysis.  A contingency here is a single
+branch outage (N-1); enumeration skips outages that would island the
+network (they need special handling, reported separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid.network import Network
+
+__all__ = ["Contingency", "enumerate_n1", "apply_outage"]
+
+
+@dataclass(frozen=True)
+class Contingency:
+    """A single-branch outage."""
+
+    branch: int
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.branch < 0:
+            raise ValueError("branch index must be non-negative")
+
+
+def enumerate_n1(net: Network) -> tuple[list[Contingency], list[Contingency]]:
+    """All single-branch outages, split into (safe, islanding).
+
+    A "safe" outage leaves the network connected; an "islanding" outage
+    disconnects it (radial branches).  Parallel circuits are safe by
+    construction since the twin stays in service.
+    """
+    live = net.live_branches()
+    pairs = net.adjacency_pairs()
+    all_buses = np.arange(net.n_bus)
+
+    # Count live branches per unordered pair to spot parallel circuits.
+    key = {}
+    for k in live:
+        a, b = int(net.f[k]), int(net.t[k])
+        key[(min(a, b), max(a, b))] = key.get((min(a, b), max(a, b)), 0) + 1
+
+    # Bridges of the pair graph: removal disconnects.
+    bridges = _bridges(net.n_bus, pairs)
+
+    safe: list[Contingency] = []
+    islanding: list[Contingency] = []
+    for k in live:
+        a, b = int(net.f[k]), int(net.t[k])
+        pair = (min(a, b), max(a, b))
+        c = Contingency(
+            branch=int(k),
+            label=f"{net.bus_ids[a]}-{net.bus_ids[b]}",
+        )
+        if key[pair] > 1 or pair not in bridges:
+            safe.append(c)
+        else:
+            islanding.append(c)
+    return safe, islanding
+
+
+def apply_outage(net: Network, contingency: Contingency) -> Network:
+    """Network copy with the contingency branch switched out."""
+    if contingency.branch >= net.n_branch:
+        raise ValueError(f"branch {contingency.branch} out of range")
+    out = net.copy()
+    out.br_status = out.br_status.copy()
+    out.br_status[contingency.branch] = 0
+    return out
+
+
+def _bridges(n: int, pairs: np.ndarray) -> set[tuple[int, int]]:
+    """Bridge edges of the (pair-collapsed) graph via Tarjan's low-link."""
+    adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for idx, (u, v) in enumerate(pairs):
+        adj[int(u)].append((int(v), idx))
+        adj[int(v)].append((int(u), idx))
+
+    visited = [False] * n
+    disc = [0] * n
+    low = [0] * n
+    bridges: set[tuple[int, int]] = set()
+    timer = [0]
+
+    for root in range(n):
+        if visited[root]:
+            continue
+        # iterative DFS
+        parent_edge = {root: -1}
+        visited[root] = True
+        disc[root] = low[root] = timer[0]
+        timer[0] += 1
+        dfs = [(root, iter(adj[root]))]
+        while dfs:
+            v, it = dfs[-1]
+            advanced = False
+            for u, eidx in it:
+                if eidx == parent_edge.get(v, -1):
+                    continue
+                if not visited[u]:
+                    visited[u] = True
+                    disc[u] = low[u] = timer[0]
+                    timer[0] += 1
+                    parent_edge[u] = eidx
+                    dfs.append((u, iter(adj[u])))
+                    advanced = True
+                    break
+                low[v] = min(low[v], disc[u])
+            if not advanced:
+                dfs.pop()
+                if dfs:
+                    p = dfs[-1][0]
+                    low[p] = min(low[p], low[v])
+                    if low[v] > disc[p]:
+                        bridges.add((min(p, v), max(p, v)))
+    return bridges

@@ -1,0 +1,214 @@
+"""Runtime adaptation: grid topology changes and cluster failures.
+
+The paper motivates the architecture with the *dynamics* of the power
+system — "varying number of data exchange sessions between state
+estimators" — and its mapping method exists precisely to re-place work as
+conditions change.  This module implements the two disruptive events a
+deployment must absorb between frames:
+
+- **branch outages** (:func:`apply_branch_outage`): the decomposition is
+  repaired in place — a tie-line loss just removes an exchange session; a
+  loss that splits a subsystem internally reassigns the stranded fragment
+  to a neighbouring subsystem;
+- **cluster failures** (:func:`apply_cluster_outage`): the mapper is rebuilt
+  over the surviving clusters and the orphaned subsystems are re-placed by
+  the migration-aware repartitioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..dse.decomposition import Decomposition
+from ..grid.islands import subgraph_components
+from ..partition import migration_volume
+from .architecture import ArchitecturePrototype
+from .mapper import ClusterMapper, Mapping
+from .weights import step1_graph
+
+__all__ = ["BranchOutageReport", "ClusterOutageReport", "apply_branch_outage",
+           "apply_cluster_outage"]
+
+
+@dataclass
+class BranchOutageReport:
+    """What a branch outage did to the decomposition."""
+
+    branch: int
+    was_tie_line: bool
+    islanded_network: bool
+    reassigned_buses: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, np.int64)
+    )
+    new_decomposition: Decomposition | None = None
+
+    @property
+    def decomposition_changed(self) -> bool:
+        return len(self.reassigned_buses) > 0
+
+
+def apply_branch_outage(
+    arch: ArchitecturePrototype, branch: int
+) -> BranchOutageReport:
+    """Take a branch out of service and repair the decomposition.
+
+    The architecture's network and decomposition are updated in place.
+    If the outage islands the *whole* network the report flags it and no
+    repair is attempted (operator intervention territory).
+    """
+    net = arch.net
+    if not 0 <= branch < net.n_branch:
+        raise ValueError(f"branch {branch} out of range")
+    if net.br_status[branch] == 0:
+        raise ValueError(f"branch {branch} already out of service")
+
+    dec = arch.dec
+    was_tie = branch in set(dec.tie_lines.tolist())
+    net.br_status[branch] = 0
+
+    pairs = net.adjacency_pairs()
+    # Whole-network islanding?
+    comps = subgraph_components(net.n_bus, pairs, np.arange(net.n_bus))
+    if len(comps) > 1:
+        net.br_status[branch] = 1  # roll back; caller must handle
+        return BranchOutageReport(
+            branch=branch, was_tie_line=was_tie, islanded_network=True
+        )
+
+    part = dec.part.copy()
+    reassigned: list[int] = []
+    if not was_tie:
+        # The outage may split its subsystem internally.
+        s = int(part[net.f[branch]])
+        members = np.flatnonzero(part == s)
+        frags = subgraph_components(net.n_bus, pairs, members)
+        if len(frags) > 1:
+            frags.sort(key=len, reverse=True)
+            adj: dict[int, dict[int, int]] = {}
+            for frag in frags[1:]:
+                counts: dict[int, int] = {}
+                fragset = set(frag.tolist())
+                for u, v in pairs:
+                    u, v = int(u), int(v)
+                    if u in fragset and part[v] != s:
+                        counts[int(part[v])] = counts.get(int(part[v]), 0) + 1
+                    if v in fragset and part[u] != s:
+                        counts[int(part[u])] = counts.get(int(part[u]), 0) + 1
+                target = max(counts, key=counts.get) if counts else s
+                if target != s:
+                    part[frag] = target
+                    reassigned.extend(int(b) for b in frag)
+
+    new_dec = Decomposition(net=net, part=part, m=dec.m)
+    arch.dec = new_dec
+    return BranchOutageReport(
+        branch=branch,
+        was_tie_line=was_tie,
+        islanded_network=False,
+        reassigned_buses=np.array(sorted(reassigned), dtype=np.int64),
+        new_decomposition=new_dec,
+    )
+
+
+@dataclass
+class ClusterOutageReport:
+    """What a cluster failure did to the mapping."""
+
+    failed_cluster: str
+    survivors: list[str]
+    orphaned_subsystems: np.ndarray
+    new_mapping: Mapping
+    migrated_weight: int
+
+
+def apply_cluster_outage(
+    arch: ArchitecturePrototype,
+    failed: str,
+    previous: Mapping,
+    *,
+    noise_level: float = 1.0,
+) -> ClusterOutageReport:
+    """Re-place all subsystems after ``failed`` drops out.
+
+    The architecture's mapper is rebuilt over the surviving clusters; the
+    repartitioner starts from the previous assignment (anchoring surviving
+    placements) so only the orphans and whatever rebalancing demands move.
+    """
+    names = [c.name for c in arch.topology.clusters]
+    if failed not in names:
+        raise KeyError(f"unknown cluster {failed!r}")
+    survivors = [c for c in arch.topology.clusters if c.name != failed]
+    if not survivors:
+        raise ValueError("no surviving clusters")
+
+    new_topo = ClusterTopology(
+        clusters=survivors,
+        links={k: v for k, v in arch.topology.links.items() if failed not in k},
+        loopback=arch.topology.loopback,
+        default_link=arch.topology.default_link,
+    )
+    new_mapper = ClusterMapper(
+        new_topo,
+        tol=arch.mapper.tol,
+        iteration_model=arch.mapper.iteration_model,
+        migration_factor=arch.mapper.migration_factor,
+        seed=arch.mapper.seed,
+    )
+
+    # Re-index the previous assignment onto the surviving cluster list;
+    # orphaned subsystems start on the least-loaded survivor.
+    old_names = previous.cluster_names
+    new_names = [c.name for c in survivors]
+    orphans = np.array(
+        [s for s in range(len(previous.assignment))
+         if old_names[previous.assignment[s]] == failed],
+        dtype=np.int64,
+    )
+    dec = arch.dec
+    g = step1_graph(dec, noise_level, model=arch.mapper.iteration_model)
+    start = np.zeros(dec.m, dtype=np.int64)
+    loads = np.zeros(len(new_names), dtype=np.int64)
+    for s in range(dec.m):
+        old = old_names[previous.assignment[s]]
+        if old != failed:
+            start[s] = new_names.index(old)
+            loads[start[s]] += g.vwgt[s]
+    for s in orphans:
+        target = int(np.argmin(loads))
+        start[s] = target
+        loads[target] += g.vwgt[s]
+
+    from ..partition import repartition
+
+    res = repartition(
+        g,
+        len(new_names),
+        start,
+        tol=arch.mapper.tol,
+        migration_factor=arch.mapper.migration_factor,
+        seed=arch.mapper.seed,
+    )
+    new_mapping = Mapping(
+        assignment=res.part,
+        cluster_names=new_names,
+        imbalance=res.imbalance,
+        edge_cut=res.edge_cut,
+    )
+    moved = migration_volume(g, start, res.part)
+
+    arch.topology = new_topo
+    arch.mapper = new_mapper
+    from ..cluster.executor import SimExecutor
+
+    arch.executor = SimExecutor(new_topo, middleware=arch.middleware_cost)
+
+    return ClusterOutageReport(
+        failed_cluster=failed,
+        survivors=new_names,
+        orphaned_subsystems=orphans,
+        new_mapping=new_mapping,
+        migrated_weight=moved,
+    )

@@ -1,0 +1,158 @@
+"""The mapping method: placing subsystems onto HPC clusters.
+
+Section IV-B.3 of the paper: before DSE Step 1 the decomposition graph is
+(re)partitioned to balance compute; before DSE Step 2 the weights are
+updated and the graph repartitioned to minimise communication while staying
+balanced, with subsystems that change cluster paying a data-redistribution
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..dse.decomposition import Decomposition
+from ..partition import (
+    load_imbalance,
+    migration_volume,
+    partition_kway,
+    repartition,
+)
+from .weights import IterationModel, PAPER_ITERATION_MODEL, step1_graph, step2_graph
+
+__all__ = ["Mapping", "ClusterMapper"]
+
+
+@dataclass
+class Mapping:
+    """Subsystem → cluster assignment and its quality metrics."""
+
+    assignment: np.ndarray  # subsystem -> cluster index
+    cluster_names: list[str]
+    imbalance: float
+    edge_cut: int
+
+    def cluster_of(self, s: int) -> str:
+        """Cluster name hosting subsystem ``s``."""
+        return self.cluster_names[int(self.assignment[s])]
+
+    def subsystems_on(self, cluster: str) -> np.ndarray:
+        """Subsystem ids mapped to a cluster."""
+        idx = self.cluster_names.index(cluster)
+        return np.flatnonzero(self.assignment == idx)
+
+    def as_dict(self) -> dict[str, list[int]]:
+        """``{cluster: [subsystems...]}`` — the Figure 4/5 presentation."""
+        return {
+            name: self.subsystems_on(name).tolist() for name in self.cluster_names
+        }
+
+
+class ClusterMapper:
+    """Implements the paper's mapping method over a cluster topology.
+
+    Parameters
+    ----------
+    topology:
+        The available HPC clusters (``p`` = number of clusters).
+    tol:
+        Balance tolerance for the partitioner (METIS' suggested 1.05).
+    iteration_model:
+        The ``Ni = g1·x + g2`` model used for vertex weights.
+    migration_factor:
+        Edge-cut units one unit of migrated vertex weight costs during
+        repartitioning (bounds data redistribution).
+    seed:
+        Seed for the partitioner.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        tol: float = 1.05,
+        iteration_model: IterationModel = PAPER_ITERATION_MODEL,
+        migration_factor: float = 0.5,
+        seed: int = 0,
+    ):
+        self.topology = topology
+        self.tol = tol
+        self.iteration_model = iteration_model
+        self.migration_factor = migration_factor
+        self.seed = seed
+        self.cluster_names = [c.name for c in topology.clusters]
+
+    @property
+    def p(self) -> int:
+        """Number of clusters."""
+        return len(self.cluster_names)
+
+    # ------------------------------------------------------------------
+    def map_step1(self, dec: Decomposition, noise_level: float) -> Mapping:
+        """Partition for DSE Step 1: balance the computational loads."""
+        g = step1_graph(dec, noise_level, model=self.iteration_model)
+        res = partition_kway(g, self.p, tol=self.tol, seed=self.seed)
+        return Mapping(
+            assignment=res.part,
+            cluster_names=self.cluster_names,
+            imbalance=res.imbalance,
+            edge_cut=res.edge_cut,
+        )
+
+    def remap_step2(
+        self,
+        dec: Decomposition,
+        noise_level: float,
+        previous: Mapping,
+        exchange_sets: dict[int, np.ndarray] | None = None,
+    ) -> tuple[Mapping, int]:
+        """Repartition for DSE Step 2: minimise communication, stay
+        balanced, limit migration.
+
+        Returns ``(mapping, migrated_weight)`` where the second element is
+        the vertex weight (≈ measurement volume) that must be redistributed
+        between clusters (section IV-C's data-redistribution step).
+        """
+        g = step2_graph(
+            dec, noise_level, exchange_sets, model=self.iteration_model
+        )
+        res = repartition(
+            g,
+            self.p,
+            previous.assignment,
+            tol=self.tol,
+            migration_factor=self.migration_factor,
+            seed=self.seed,
+        )
+        moved = migration_volume(g, previous.assignment, res.part)
+        return (
+            Mapping(
+                assignment=res.part,
+                cluster_names=self.cluster_names,
+                imbalance=res.imbalance,
+                edge_cut=res.edge_cut,
+            ),
+            moved,
+        )
+
+    # ------------------------------------------------------------------
+    def static_mapping(self, dec: Decomposition) -> Mapping:
+        """The "w/o mapping" baseline of Table II: contiguous block
+        assignment of subsystems to clusters, ignoring weights."""
+        sizes = dec.sizes()
+        order = np.arange(dec.m)
+        assignment = np.zeros(dec.m, dtype=np.int64)
+        # contiguous chunks of ~m/p subsystems
+        bounds = np.linspace(0, dec.m, self.p + 1).astype(int)
+        for c in range(self.p):
+            assignment[order[bounds[c] : bounds[c + 1]]] = c
+        g = step1_graph(dec, 1.0, model=self.iteration_model)
+        return Mapping(
+            assignment=assignment,
+            cluster_names=self.cluster_names,
+            imbalance=load_imbalance(g, assignment, self.p),
+            edge_cut=0,
+        )

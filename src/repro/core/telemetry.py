@@ -1,0 +1,67 @@
+"""Telemetry records for architecture sessions."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "PhaseBreakdown", "FrameReport"]
+
+
+class Timer:
+    """Context-manager wall-clock timer."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self._t0
+
+
+@dataclass
+class PhaseBreakdown:
+    """Simulated-testbed timing of one DSE execution."""
+
+    step1: float = 0.0
+    redistribution: float = 0.0
+    exchange_per_round: list[float] = field(default_factory=list)
+    step2_per_round: list[float] = field(default_factory=list)
+
+    @property
+    def exchange(self) -> float:
+        return sum(self.exchange_per_round)
+
+    @property
+    def step2(self) -> float:
+        return sum(self.step2_per_round)
+
+    @property
+    def total(self) -> float:
+        return self.step1 + self.redistribution + self.exchange + self.step2
+
+
+@dataclass
+class FrameReport:
+    """Everything recorded about one processed time frame."""
+
+    t: float
+    noise_level: float
+    expected_iterations: float
+    mapping_step1: dict[str, list[int]]
+    imbalance_step1: float
+    mapping_step2: dict[str, list[int]]
+    imbalance_step2: float
+    edge_cut_step2: int
+    migrated_weight: int
+    rounds: int
+    bytes_exchanged: int
+    timings: PhaseBreakdown
+    wall_time: float
+    vm_rmse_vs_truth: float | None = None
+    va_rmse_vs_truth: float | None = None
+    centralized_sim_time: float | None = None
+    bad_data: object | None = None  # DistributedBadDataReport when enabled

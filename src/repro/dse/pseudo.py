@@ -1,0 +1,147 @@
+"""Pseudo-measurement construction and measurement assignment for DSE.
+
+Splits a system-wide measurement snapshot into per-subsystem local sets
+(respecting what each step of the DSE algorithm may legally use) and builds
+the pseudo measurements exchanged between neighbours in DSE Step 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..measurements.types import Measurement, MeasType, MeasurementSet
+from .decomposition import Decomposition
+
+__all__ = [
+    "MeasurementAssignment",
+    "assign_measurements",
+    "localize_measurements",
+    "pseudo_measurements",
+    "dse_pmu_placement",
+    "PSEUDO_SIGMA_VM",
+    "PSEUDO_SIGMA_VA",
+]
+
+#: Default standard deviations for pseudo measurements (the neighbour's
+#: estimate is treated as a meter of roughly PMU quality).
+PSEUDO_SIGMA_VM = 0.004
+PSEUDO_SIGMA_VA = 0.004
+
+
+@dataclass
+class MeasurementAssignment:
+    """Row sets of the global measurement vector usable per subsystem.
+
+    ``step1[s]`` — rows valid on the isolated subsystem (internal flows,
+    internal-bus injections, voltages, PMU angles).
+    ``step2_extra[s]`` — rows that additionally become valid on the extended
+    subsystem of Step 2 (boundary-bus injections, tie-line flows metered at
+    a bus of ``s``).
+    """
+
+    step1: dict[int, np.ndarray]
+    step2_extra: dict[int, np.ndarray]
+
+
+def assign_measurements(dec: Decomposition, mset: MeasurementSet) -> MeasurementAssignment:
+    """Assign each global measurement row to subsystem step sets."""
+    net = dec.net
+    part = dec.part
+    tie_set = set(dec.tie_lines.tolist())
+    boundary: dict[int, set] = {
+        s: set(dec.boundary_buses(s).tolist()) for s in range(dec.m)
+    }
+    step1: dict[int, list[int]] = {s: [] for s in range(dec.m)}
+    extra: dict[int, list[int]] = {s: [] for s in range(dec.m)}
+
+    for row, m in enumerate(mset):
+        t, el = m.mtype, m.element
+        if t in (MeasType.V_MAG, MeasType.PMU_VA):
+            step1[int(part[el])].append(row)
+        elif t in (MeasType.P_INJ, MeasType.Q_INJ):
+            s = int(part[el])
+            if el in boundary[s]:
+                extra[s].append(row)  # involves tie flows: Step 2 only
+            else:
+                step1[s].append(row)
+        else:  # branch-referenced
+            if t in (MeasType.P_FLOW_F, MeasType.Q_FLOW_F, MeasType.I_MAG_F):
+                end_bus = int(net.f[el])
+            else:
+                end_bus = int(net.t[el])
+            s = int(part[end_bus])
+            if el in tie_set:
+                extra[s].append(row)
+            else:
+                # internal branch: both ends in the same subsystem
+                step1[int(part[net.f[el]])].append(row)
+
+    return MeasurementAssignment(
+        step1={s: np.array(v, dtype=np.int64) for s, v in step1.items()},
+        step2_extra={s: np.array(v, dtype=np.int64) for s, v in extra.items()},
+    )
+
+
+def localize_measurements(
+    mset: MeasurementSet,
+    rows: np.ndarray,
+    bus_map: np.ndarray,
+    branch_map: np.ndarray,
+) -> MeasurementSet:
+    """Re-index the selected global rows into subnetwork element numbering."""
+    out: list[Measurement] = []
+    for row in rows:
+        m = mset[int(row)]
+        local = bus_map[m.element] if m.mtype.is_bus else branch_map[m.element]
+        if local < 0:
+            raise ValueError(
+                f"measurement row {row} references element outside subnetwork"
+            )
+        out.append(Measurement(m.mtype, int(local), m.value, m.sigma))
+    return MeasurementSet(out)
+
+
+def pseudo_measurements(
+    buses_local: np.ndarray,
+    Vm: np.ndarray,
+    Va: np.ndarray,
+    *,
+    sigma_vm: float = PSEUDO_SIGMA_VM,
+    sigma_va: float = PSEUDO_SIGMA_VA,
+) -> MeasurementSet:
+    """Pseudo V/θ measurements at the given *local* bus indices.
+
+    ``Vm``/``Va`` are aligned with ``buses_local``.  The angles are
+    synchronized (PMU-grade) values, so they enter as ``PMU_VA`` channels —
+    this is what lets Step 2 stitch neighbouring references together.
+    """
+    out: list[Measurement] = []
+    for b, vm, va in zip(buses_local, Vm, Va):
+        out.append(Measurement(MeasType.V_MAG, int(b), float(vm), sigma_vm))
+        out.append(Measurement(MeasType.PMU_VA, int(b), float(va), sigma_va))
+    return MeasurementSet(out)
+
+
+def dse_pmu_placement(dec: Decomposition, sigmas: dict | None = None) -> MeasurementSet:
+    """One PMU per subsystem, sited at its highest-degree boundary bus.
+
+    Guarantees every local estimator has a synchronized angle anchor, the
+    precondition of the phasor-assisted DSE algorithm the paper builds on.
+    """
+    from ..measurements.placement import pmu_placement
+
+    net = dec.net
+    deg = np.zeros(net.n_bus, dtype=np.int64)
+    pairs = net.adjacency_pairs()
+    np.add.at(deg, pairs[:, 0], 1)
+    np.add.at(deg, pairs[:, 1], 1)
+
+    sites = []
+    for s in range(dec.m):
+        cands = dec.boundary_buses(s)
+        if not cands.size:
+            cands = dec.buses(s)
+        sites.append(int(cands[np.argmax(deg[cands])]))
+    return pmu_placement(net, np.array(sorted(sites)), sigmas)

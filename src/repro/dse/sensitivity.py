@@ -1,0 +1,96 @@
+"""Sensitivity analysis: identifying sensitive internal buses.
+
+The DSE preliminary step (paper, section II) runs a sensitivity analysis
+once per topology to find internal buses whose states react strongly to the
+boundary conditions — those states, along with the boundary buses, are
+re-evaluated in DSE Step 2 and exchanged as pseudo measurements.
+
+We use the DC sensitivity matrix: with internal buses ``i`` and boundary
+buses ``b`` of a subsystem, ``dθ_i/dθ_b = -B_ii⁻¹ B_ib``.  A bus is
+*sensitive* when the 1-norm of its row exceeds ``threshold`` — its angle
+moves almost as much as the boundary does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..grid.network import Network
+from .decomposition import Decomposition
+
+__all__ = ["boundary_sensitivity", "sensitive_internal_buses", "exchange_bus_sets"]
+
+
+def _b_matrix(net: Network) -> sp.csc_matrix:
+    """DC susceptance matrix B' (n x n) over in-service branches."""
+    n = net.n_bus
+    live = net.live_branches()
+    f, t = net.f[live], net.t[live]
+    bsus = 1.0 / (net.x[live] * net.tap[live])
+    rows = np.concatenate([f, f, t, t])
+    cols = np.concatenate([f, t, f, t])
+    vals = np.concatenate([bsus, -bsus, -bsus, bsus])
+    return sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsc()
+
+
+def boundary_sensitivity(dec: Decomposition, s: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sensitivity of internal angles to boundary angles for subsystem ``s``.
+
+    Returns ``(internal, boundary, S)`` with ``S[i, j] = dθ_internal[i] /
+    dθ_boundary[j]`` computed on the subsystem's internal DC model.
+    """
+    net = dec.net
+    members = dec.buses(s)
+    boundary = dec.boundary_buses(s)
+    internal = np.setdiff1d(members, boundary)
+    if not internal.size or not boundary.size:
+        return internal, boundary, np.zeros((len(internal), len(boundary)))
+
+    bmat = _b_matrix(net)
+    B_ii = bmat[np.ix_(internal, internal)].tocsc()
+    B_ib = bmat[np.ix_(internal, boundary)].toarray()
+    try:
+        lu = spla.splu(B_ii + 1e-10 * sp.eye(len(internal), format="csc"))
+        S = -lu.solve(B_ib)
+    except RuntimeError:
+        # Degenerate internal block (isolated internals): fall back to zeros.
+        S = np.zeros((len(internal), len(boundary)))
+    return internal, boundary, S
+
+
+def sensitive_internal_buses(
+    dec: Decomposition, s: int, *, threshold: float = 0.5
+) -> np.ndarray:
+    """Internal buses of ``s`` whose angle tracks the boundary strongly.
+
+    ``threshold`` is on the max absolute row entry of the sensitivity
+    matrix; 0.5 marks buses that move at least half as much as some boundary
+    bus.  Row sums of the DC sensitivity are 1 (a uniform boundary shift
+    shifts every internal bus equally), so the *max-entry* criterion — not
+    the row sum — discriminates electrically close buses.
+    """
+    internal, _, S = boundary_sensitivity(dec, s)
+    if not internal.size:
+        return internal
+    if S.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    score = np.abs(S).max(axis=1)
+    return internal[score >= threshold]
+
+
+def exchange_bus_sets(
+    dec: Decomposition, *, threshold: float = 0.5
+) -> dict[int, np.ndarray]:
+    """Per-subsystem exchange set: boundary + sensitive internal buses.
+
+    These are the buses whose Step-1/Step-2 solutions a subsystem publishes
+    to its neighbours (the ``gs`` count of Expression (5)).
+    """
+    out: dict[int, np.ndarray] = {}
+    for s in range(dec.m):
+        boundary = dec.boundary_buses(s)
+        sensitive = sensitive_internal_buses(dec, s, threshold=threshold)
+        out[s] = np.unique(np.concatenate([boundary, sensitive]))
+    return out

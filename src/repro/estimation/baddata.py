@@ -1,0 +1,138 @@
+"""Bad-data detection and identification.
+
+Standard WLS post-processing (Abur & Expósito, ch. 5):
+
+- :func:`chi_square_test` — global detection: the WLS objective follows a
+  chi-square distribution with ``m - n`` degrees of freedom under the
+  Gaussian hypothesis.
+- :func:`normalized_residuals` — per-measurement normalized residuals using
+  the residual covariance ``Ω = R - H G⁻¹ Hᵀ``.
+- :func:`identify_bad_data` — the largest-normalized-residual loop: remove
+  the worst measurement, re-estimate, repeat until the test passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from scipy.stats import chi2
+
+from ..grid.network import Network
+from ..measurements.types import MeasurementSet
+from .results import EstimationResult
+from .solvers import build_gain
+from .wls import WlsEstimator
+
+__all__ = [
+    "chi_square_test",
+    "normalized_residuals",
+    "BadDataReport",
+    "identify_bad_data",
+]
+
+
+def chi_square_test(result: EstimationResult, *, alpha: float = 0.01) -> bool:
+    """True when the estimate passes the global chi-square test.
+
+    ``alpha`` is the false-alarm probability; the test passes when the WLS
+    objective is below the (1 - alpha) quantile of chi2(dof).
+    """
+    if result.dof <= 0:
+        return True  # no redundancy, nothing to test
+    threshold = chi2.ppf(1.0 - alpha, df=result.dof)
+    return result.objective <= threshold
+
+
+def normalized_residuals(
+    estimator: WlsEstimator, result: EstimationResult
+) -> np.ndarray:
+    """Normalized residuals ``|r_i| / sqrt(Ω_ii)``.
+
+    ``Ω = R - H G⁻¹ Hᵀ`` is the residual covariance; its diagonal is
+    computed column-block-wise through the sparse gain factorisation, so
+    only ``m`` solves of the factored system are needed (no dense m×m
+    matrix is formed).
+    """
+    ms = estimator.mset
+    Vm, Va = result.Vm, result.Va
+    H = estimator.model.jacobian(Vm, Va).tocsc()[:, estimator._keep]
+    w = ms.weights
+    G = build_gain(H, w)
+    lu = spla.splu(G.tocsc())
+
+    # diag(H G^-1 Ht) = sum over columns of (H G^-1 Ht) ∘ I; compute via
+    # S = G^-1 Ht (n x m) in blocks, then diag = sum(H ∘ Sᵀ, axis=1).
+    Ht = H.T.tocsc()
+    m = H.shape[0]
+    diag_hght = np.empty(m)
+    block = 256
+    Hcsr = H.tocsr()
+    for lo in range(0, m, block):
+        hi = min(lo + block, m)
+        rhs = Ht[:, lo:hi].toarray()
+        S = lu.solve(rhs)
+        seg = Hcsr[lo:hi].multiply(S.T[: hi - lo])
+        diag_hght[lo:hi] = np.asarray(seg.sum(axis=1)).ravel()
+
+    Rdiag = ms.sigma**2
+    omega = Rdiag - diag_hght
+    # Leverage points can drive Ω_ii to ~0; floor it to keep ratios finite.
+    omega = np.maximum(omega, 1e-12)
+    return np.abs(result.residuals) / np.sqrt(omega)
+
+
+@dataclass
+class BadDataReport:
+    """Outcome of the identification loop."""
+
+    clean: MeasurementSet
+    removed_rows: list[int]
+    result: EstimationResult
+    passes_chi_square: bool
+
+
+def identify_bad_data(
+    net: Network,
+    mset: MeasurementSet,
+    *,
+    alpha: float = 0.01,
+    nr_threshold: float = 3.0,
+    max_removals: int = 20,
+    solver: str = "lu",
+) -> BadDataReport:
+    """Largest-normalized-residual identification loop.
+
+    Estimates, tests, removes the measurement with the largest normalized
+    residual above ``nr_threshold``, and repeats.  Row indices in
+    ``removed_rows`` refer to the *original* measurement set.
+    """
+    current = mset
+    # Track original row identity through removals.
+    orig_rows = list(range(len(mset)))
+    removed: list[int] = []
+
+    for _ in range(max_removals + 1):
+        est = WlsEstimator(net, current, solver=solver)
+        result = est.estimate()
+        if chi_square_test(result, alpha=alpha):
+            return BadDataReport(
+                clean=current, removed_rows=removed, result=result,
+                passes_chi_square=True,
+            )
+        rn = normalized_residuals(est, result)
+        worst = int(np.argmax(rn))
+        if rn[worst] < nr_threshold or len(removed) >= max_removals:
+            return BadDataReport(
+                clean=current, removed_rows=removed, result=result,
+                passes_chi_square=False,
+            )
+        removed.append(orig_rows[worst])
+        keep = np.ones(len(current), dtype=bool)
+        keep[worst] = False
+        orig_rows = [r for k, r in zip(keep, orig_rows) if k]
+        current = current.subset(keep)
+
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,131 @@
+"""Equality-constrained WLS: exact zero-injection constraints.
+
+Buses with neither load nor generation (switching stations, transformer
+taps) have exactly zero injection.  Modelling that as a high-weight
+measurement ill-conditions the gain matrix; the proper treatment is an
+equality constraint solved through the KKT (Hachtel) system each
+Gauss-Newton step:
+
+    [ HᵀWH   Cᵀ ] [dx]   [ HᵀW r ]
+    [  C     0  ] [λ ] = [ -c(x) ]
+
+where ``c(x)`` stacks the P and Q injections of the zero-injection buses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..grid.network import Network
+from ..measurements.functions import MeasurementModel
+from ..measurements.types import DEFAULT_SIGMAS, Measurement, MeasType, MeasurementSet
+from .results import EstimationResult
+from .wls import EstimationError
+
+__all__ = ["zero_injection_buses", "constrained_estimate"]
+
+
+def zero_injection_buses(net: Network) -> np.ndarray:
+    """Buses with no load, no shunt and no in-service generation."""
+    has_gen = np.zeros(net.n_bus, dtype=bool)
+    if net.n_gen:
+        on = net.gen_status > 0
+        has_gen[net.gen_bus[on]] = True
+    passive = (
+        (net.Pd == 0) & (net.Qd == 0) & (net.Gs == 0) & (net.Bs == 0) & ~has_gen
+    )
+    return np.flatnonzero(passive)
+
+
+def constrained_estimate(
+    net: Network,
+    mset: MeasurementSet,
+    zi_buses: np.ndarray | None = None,
+    *,
+    tol: float = 1e-8,
+    max_iter: int = 25,
+    reference_bus: int | None = None,
+) -> EstimationResult:
+    """WLS estimation with hard zero-injection constraints.
+
+    Parameters
+    ----------
+    zi_buses:
+        Zero-injection bus indices; detected from the case data when
+        omitted.  Their P/Q injections are enforced exactly (to solver
+        precision) rather than weighted.
+    """
+    if zi_buses is None:
+        zi_buses = zero_injection_buses(net)
+    zi_buses = np.asarray(zi_buses, dtype=np.int64)
+
+    model = MeasurementModel(net, mset)
+    # Constraint evaluator: P and Q injections at the zi buses.
+    cset = MeasurementSet(
+        [Measurement(MeasType.P_INJ, int(b), 0.0, DEFAULT_SIGMAS[MeasType.P_INJ])
+         for b in zi_buses]
+        + [Measurement(MeasType.Q_INJ, int(b), 0.0, DEFAULT_SIGMAS[MeasType.Q_INJ])
+           for b in zi_buses]
+    )
+    cmodel = MeasurementModel(net, cset)
+
+    n = net.n_bus
+    has_pmu = mset.count(MeasType.PMU_VA) > 0
+    if reference_bus is None:
+        slacks = net.slack_buses
+        reference_bus = int(slacks[0]) if len(slacks) else 0
+    keep = (
+        np.arange(2 * n) if has_pmu else np.delete(np.arange(2 * n), reference_bus)
+    )
+    nc = len(cset)
+    if len(mset) + nc < len(keep):
+        raise EstimationError("underdetermined constrained estimation")
+
+    Vm = np.ones(n)
+    Va = np.zeros(n)
+    w = mset.weights
+    step_norms: list[float] = []
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        r = mset.z - model.h(Vm, Va)
+        c = cmodel.h(Vm, Va)  # target is zero
+        H = model.jacobian(Vm, Va).tocsc()[:, keep]
+        C = cmodel.jacobian(Vm, Va).tocsc()[:, keep]
+
+        G = (H.T @ H.multiply(w[:, None])).tocsc()
+        kkt = sp.bmat(
+            [[G, C.T], [C, None]], format="csc"
+        )
+        rhs = np.concatenate([H.T @ (w * r), -c])
+        try:
+            sol = spla.spsolve(kkt, rhs)
+        except RuntimeError as exc:
+            raise EstimationError(f"KKT solve failed: {exc}") from exc
+        if not np.all(np.isfinite(sol)):
+            raise EstimationError("KKT solve produced non-finite step")
+        dx = sol[: len(keep)]
+
+        full = np.zeros(2 * n)
+        full[keep] = dx
+        Va += full[:n]
+        Vm += full[n:]
+        step = float(np.max(np.abs(dx))) if len(dx) else 0.0
+        step_norms.append(step)
+        if step < tol:
+            converged = True
+            break
+
+    r = mset.z - model.h(Vm, Va)
+    return EstimationResult(
+        converged=converged,
+        iterations=it,
+        Vm=Vm,
+        Va=Va,
+        residuals=r,
+        objective=float(r @ (w * r)),
+        dof=len(mset) + nc - len(keep),
+        step_norms=step_norms,
+    )

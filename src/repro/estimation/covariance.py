@@ -1,0 +1,82 @@
+"""Estimation uncertainty: state covariance and confidence intervals.
+
+For WLS with Gaussian noise, the state estimate is asymptotically
+distributed as ``x̂ ~ N(x*, G⁻¹)`` with gain ``G = Hᵀ W H`` evaluated at
+the solution.  The diagonal of ``G⁻¹`` gives per-state variances — the
+error bars operators need before trusting an estimate, and the quantities
+pseudo-measurement sigmas should reflect when neighbours exchange their
+boundary solutions in DSE Step 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse.linalg as spla
+from scipy.stats import norm
+
+from .results import EstimationResult
+from .solvers import build_gain
+from .wls import WlsEstimator
+
+__all__ = ["StateCovariance", "state_covariance"]
+
+
+@dataclass
+class StateCovariance:
+    """Per-bus standard deviations of the estimated state.
+
+    ``va_std``/``vm_std`` are aligned with bus indices; the reference bus
+    (fixed angle) carries zero angle deviation when no PMU anchors exist.
+    """
+
+    vm_std: np.ndarray
+    va_std: np.ndarray
+    reference_bus: int | None
+
+    def confidence_interval(
+        self, result: EstimationResult, *, level: float = 0.95
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(Vm_lo, Vm_hi, Va_lo, Va_hi) at the given confidence level."""
+        if not 0 < level < 1:
+            raise ValueError("level must be in (0, 1)")
+        z = norm.ppf(0.5 + level / 2)
+        return (
+            result.Vm - z * self.vm_std,
+            result.Vm + z * self.vm_std,
+            result.Va - z * self.va_std,
+            result.Va + z * self.va_std,
+        )
+
+
+def state_covariance(
+    estimator: WlsEstimator, result: EstimationResult
+) -> StateCovariance:
+    """Diagonal of ``G⁻¹`` at the solution, mapped back to bus order.
+
+    Computed column-block-wise through the sparse LU of the gain matrix
+    (no dense inverse is formed).
+    """
+    n = estimator.net.n_bus
+    H = estimator.model.jacobian(result.Vm, result.Va).tocsc()[:, estimator._keep]
+    G = build_gain(H, estimator.mset.weights)
+    lu = spla.splu(G.tocsc())
+
+    k = G.shape[0]
+    diag = np.empty(k)
+    block = 256
+    for lo in range(0, k, block):
+        hi = min(lo + block, k)
+        rhs = np.zeros((k, hi - lo))
+        rhs[np.arange(lo, hi), np.arange(hi - lo)] = 1.0
+        S = lu.solve(rhs)
+        diag[lo:hi] = S[lo:hi, :].diagonal()
+
+    var = np.zeros(2 * n)
+    var[estimator._keep] = np.maximum(diag, 0.0)
+    return StateCovariance(
+        vm_std=np.sqrt(var[n:]),
+        va_std=np.sqrt(var[:n]),
+        reference_bus=None if estimator.has_pmu_angles else estimator.reference_bus,
+    )

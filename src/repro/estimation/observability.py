@@ -1,0 +1,97 @@
+"""Observability analysis.
+
+Numerical observability in the Monticelli-Wu sense, on the decoupled
+(DC-like) model: the network is observable when the angle-part Jacobian of
+the real-power measurements has full rank over the angle states (minus the
+reference).  :func:`observable_islands` recovers the maximal observable
+islands from the null space of that Jacobian — buses whose angle difference
+is fixed by the measurements end up in the same island.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as la
+
+from ..grid.network import Network
+from ..measurements.functions import MeasurementModel
+from ..measurements.types import MeasType, MeasurementSet
+
+__all__ = ["angle_jacobian", "is_observable", "observable_islands"]
+
+
+def angle_jacobian(net: Network, mset: MeasurementSet) -> np.ndarray:
+    """Dense angle-part Jacobian of the P/angle measurements at flat start.
+
+    Rows: P injections, P flows (both ends) and PMU angles; columns: bus
+    angles.  This is the linearised DC observability model.
+    """
+    keep_types = (
+        MeasType.P_INJ,
+        MeasType.P_FLOW_F,
+        MeasType.P_FLOW_T,
+        MeasType.PMU_VA,
+    )
+    rows = np.concatenate([mset.rows(t) for t in keep_types]) if len(mset) else np.array([], int)
+    model = MeasurementModel(net, mset)
+    n = net.n_bus
+    Vm = np.ones(n)
+    Va = np.zeros(n)
+    H = model.jacobian(Vm, Va).tocsr()
+    return H[rows.astype(int)][:, :n].toarray()
+
+
+def is_observable(net: Network, mset: MeasurementSet, *, tol: float = 1e-8) -> bool:
+    """True when the measurement set observes the whole network.
+
+    Checks that the angle Jacobian has rank ``n-1`` (rank ``n`` with PMU
+    angles) over the bus angles.
+    """
+    Ha = angle_jacobian(net, mset)
+    if Ha.size == 0:
+        return net.n_bus == 1
+    need = net.n_bus - (0 if mset.count(MeasType.PMU_VA) else 1)
+    return np.linalg.matrix_rank(Ha, tol=tol) >= need
+
+
+def observable_islands(
+    net: Network, mset: MeasurementSet, *, tol: float = 1e-8
+) -> list[np.ndarray]:
+    """Maximal observable islands as arrays of bus indices.
+
+    Buses are grouped by their rows in an orthonormal basis of the angle
+    Jacobian's null space (plus the constant vector): two buses whose null
+    space rows coincide have a measurement-determined angle difference.
+    For a fully observable network this returns a single island.
+    """
+    n = net.n_bus
+    Ha = angle_jacobian(net, mset)
+    if Ha.size == 0:
+        return [np.array([b]) for b in range(n)]
+
+    ns = la.null_space(Ha, rcond=tol)
+    if mset.count(MeasType.PMU_VA) == 0:
+        # Without an absolute angle reference the constant vector is always
+        # in the null space; it does not separate buses, so ignore it by
+        # projecting it out.
+        ones = np.ones((n, 1)) / np.sqrt(n)
+        if ns.size:
+            ns = ns - ones @ (ones.T @ ns)
+        # Re-orthonormalise the remainder.
+        if ns.size:
+            q, r = np.linalg.qr(ns)
+            keep = np.abs(np.diag(r)) > tol
+            ns = q[:, keep]
+
+    if ns.size == 0:
+        return [np.arange(n)]
+
+    # Two buses are in the same island iff their null-space rows agree.
+    rows = np.round(ns / tol) * tol  # quantise against fp jitter
+    # Use row bytes as grouping key.
+    groups: dict[bytes, list[int]] = {}
+    for b in range(n):
+        groups.setdefault(rows[b].tobytes(), []).append(b)
+    islands = [np.array(sorted(v)) for v in groups.values()]
+    islands.sort(key=lambda a: int(a[0]))
+    return islands

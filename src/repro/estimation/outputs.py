@@ -1,0 +1,104 @@
+"""Operational outputs derived from a state estimate.
+
+Section I of the paper: the estimated state feeds "contingency analysis,
+optimal power flow, economic dispatch, and automatic generation control".
+Those tools do not consume ``(Vm, Va)`` — they consume the derived network
+quantities: bus injections, branch flows, losses, and (for balancing
+authorities) the inter-area interchange schedule.  This module computes the
+full product set from any :class:`EstimationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid.network import Network
+from ..grid.ybus import build_yf_yt, build_ybus
+from .results import EstimationResult
+
+__all__ = ["EstimatedOutputs", "derive_outputs", "area_interchange"]
+
+
+@dataclass
+class EstimatedOutputs:
+    """Derived quantities at the estimated operating point (all p.u.).
+
+    ``Pf``/``Qf``/``Pt``/``Qt`` are zero for out-of-service branches.
+    """
+
+    P: np.ndarray
+    Q: np.ndarray
+    Pf: np.ndarray
+    Qf: np.ndarray
+    Pt: np.ndarray
+    Qt: np.ndarray
+    branch_loss_p: np.ndarray
+    total_loss_p: float
+
+    @property
+    def total_generation_p(self) -> float:
+        """Total positive injection (≈ generation) in p.u."""
+        return float(self.P[self.P > 0].sum())
+
+    @property
+    def total_load_p(self) -> float:
+        """Total negative injection (≈ load) in p.u."""
+        return float(-self.P[self.P < 0].sum())
+
+
+def derive_outputs(net: Network, estimate: EstimationResult) -> EstimatedOutputs:
+    """Compute injections, flows and losses at the estimated state."""
+    V = estimate.Vm * np.exp(1j * estimate.Va)
+    ybus = build_ybus(net)
+    s_bus = V * np.conj(ybus @ V)
+
+    yf, yt = build_yf_yt(net)
+    sf = V[net.f] * np.conj(yf @ V)
+    st = V[net.t] * np.conj(yt @ V)
+    live = net.br_status > 0
+    sf = np.where(live, sf, 0.0)
+    st = np.where(live, st, 0.0)
+
+    loss = sf.real + st.real
+    return EstimatedOutputs(
+        P=s_bus.real,
+        Q=s_bus.imag,
+        Pf=sf.real,
+        Qf=sf.imag,
+        Pt=st.real,
+        Qt=st.imag,
+        branch_loss_p=loss,
+        total_loss_p=float(loss.sum()),
+    )
+
+
+def area_interchange(
+    net: Network,
+    estimate: EstimationResult,
+    labels: np.ndarray | None = None,
+) -> dict[int, float]:
+    """Net scheduled export per area from the estimated tie flows (p.u.).
+
+    ``labels`` maps each bus to an area (default: the case's area column).
+    Positive values export power.  Exports sum to the total tie losses'
+    negative (power leaving one area either arrives at another or is lost
+    on the tie), so ``sum ≈ tie losses ≥ 0``.
+    """
+    if labels is None:
+        labels = net.area
+    labels = np.asarray(labels)
+    if len(labels) != net.n_bus:
+        raise ValueError("labels length mismatch")
+
+    out = derive_outputs(net, estimate)
+    interchange: dict[int, float] = {int(a): 0.0 for a in np.unique(labels)}
+    for k in net.live_branches():
+        a_from = int(labels[net.f[k]])
+        a_to = int(labels[net.t[k]])
+        if a_from == a_to:
+            continue
+        interchange[a_from] += float(out.Pf[k])
+        interchange[a_to] += float(out.Pt[k])
+    return interchange

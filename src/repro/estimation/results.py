@@ -1,0 +1,61 @@
+"""Estimation result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EstimationResult"]
+
+
+@dataclass
+class EstimationResult:
+    """Outcome of a WLS state estimation.
+
+    Attributes
+    ----------
+    converged:
+        Whether the Gauss-Newton iteration met its tolerance.
+    iterations:
+        Gauss-Newton iterations performed.
+    Vm, Va:
+        Estimated bus voltage magnitudes (p.u.) and angles (radians).
+    residuals:
+        Final measurement residuals ``z - h(x̂)`` in canonical order.
+    objective:
+        Weighted least-squares objective ``J(x̂) = rᵀ W r``.
+    dof:
+        Degrees of freedom ``m - n_states`` (redundancy of the fit).
+    step_norms:
+        Max-norm of the state update per iteration (convergence record).
+    """
+
+    converged: bool
+    iterations: int
+    Vm: np.ndarray
+    Va: np.ndarray
+    residuals: np.ndarray
+    objective: float
+    dof: int
+    step_norms: list[float] = field(default_factory=list)
+
+    @property
+    def V(self) -> np.ndarray:
+        """Complex estimated voltages."""
+        return self.Vm * np.exp(1j * self.Va)
+
+    def state_error(self, Vm_true: np.ndarray, Va_true: np.ndarray) -> dict:
+        """Accuracy metrics against a known true state.
+
+        Angles are compared after removing any common reference shift, since
+        a SCADA-only estimate is only determined up to the slack reference.
+        """
+        dva = self.Va - Va_true
+        dva -= dva.mean()
+        return {
+            "vm_rmse": float(np.sqrt(np.mean((self.Vm - Vm_true) ** 2))),
+            "va_rmse": float(np.sqrt(np.mean(dva**2))),
+            "vm_max": float(np.max(np.abs(self.Vm - Vm_true))),
+            "va_max": float(np.max(np.abs(dva))),
+        }

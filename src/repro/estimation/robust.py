@@ -1,0 +1,103 @@
+"""Robust state estimation: the Huber M-estimator via IRLS.
+
+The WLS estimator is optimal for Gaussian noise but a single gross error
+drags the whole solution (hence the bad-data post-processing).  The Huber
+M-estimator bounds each measurement's influence instead: residuals beyond
+``gamma`` standard deviations get down-weighted by ``gamma/|r_N|``.
+Solved by iteratively reweighted least squares around the Gauss-Newton
+loop — a robustness extension of the paper's estimation layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid.network import Network
+from ..measurements.functions import MeasurementModel
+from ..measurements.types import MeasType, MeasurementSet
+from .results import EstimationResult
+from .solvers import solve_normal_equations
+from .wls import EstimationError
+
+__all__ = ["huber_estimate"]
+
+
+def huber_estimate(
+    net: Network,
+    mset: MeasurementSet,
+    *,
+    gamma: float = 1.5,
+    tol: float = 1e-8,
+    max_iter: int = 50,
+    solver: str = "lu",
+    reference_bus: int | None = None,
+) -> EstimationResult:
+    """Huber M-estimation of the state.
+
+    Parameters
+    ----------
+    gamma:
+        Huber threshold in standardized-residual units (1.5 is the usual
+        95%-efficiency choice).
+    tol, max_iter:
+        Convergence controls on the combined IRLS/Gauss-Newton loop.
+
+    Returns an :class:`EstimationResult`; ``objective`` is the final
+    *weighted* quadratic objective under the converged robust weights.
+    """
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    model = MeasurementModel(net, mset)
+    n = net.n_bus
+    has_pmu = mset.count(MeasType.PMU_VA) > 0
+    if reference_bus is None:
+        slacks = net.slack_buses
+        reference_bus = int(slacks[0]) if len(slacks) else 0
+    keep = (
+        np.arange(2 * n)
+        if has_pmu
+        else np.delete(np.arange(2 * n), reference_bus)
+    )
+    if len(mset) < len(keep):
+        raise EstimationError("underdetermined robust estimation")
+
+    Vm = np.ones(n)
+    Va = np.zeros(n)
+    base_w = mset.weights
+    w = base_w.copy()
+    step_norms: list[float] = []
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        r = mset.z - model.h(Vm, Va)
+        # Huber reweighting on standardized residuals.
+        rn = np.abs(r) / mset.sigma
+        scale = np.where(rn > gamma, gamma / np.maximum(rn, 1e-12), 1.0)
+        w = base_w * scale
+
+        H = model.jacobian(Vm, Va).tocsc()[:, keep]
+        try:
+            dx = solve_normal_equations(H, w, r, method=solver)
+        except Exception as exc:
+            raise EstimationError(f"robust solve failed: {exc}") from exc
+        full = np.zeros(2 * n)
+        full[keep] = dx
+        Va += full[:n]
+        Vm += full[n:]
+        step = float(np.max(np.abs(dx))) if len(dx) else 0.0
+        step_norms.append(step)
+        if step < tol:
+            converged = True
+            break
+
+    r = mset.z - model.h(Vm, Va)
+    return EstimationResult(
+        converged=converged,
+        iterations=it,
+        Vm=Vm,
+        Va=Va,
+        residuals=r,
+        objective=float(r @ (w * r)),
+        dof=len(mset) - len(keep),
+        step_norms=step_norms,
+    )

@@ -1,0 +1,159 @@
+"""Weighted-least-squares state estimation (Gauss-Newton).
+
+The estimator solves ``min_x (z - h(x))ᵀ W (z - h(x))`` over the polar state
+``x = [Va; Vm]`` by iterating the normal equations (Abur & Expósito, ch. 2;
+the paper's section IV-C).  The angle reference is handled by eliminating
+the slack bus angle column unless the measurement set contains synchronized
+PMU angles, in which case the state is fully determined and no column is
+dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid.network import Network
+from ..measurements.functions import MeasurementModel
+from ..measurements.types import MeasType, MeasurementSet
+from .results import EstimationResult
+from .solvers import solve_normal_equations
+
+__all__ = ["EstimationError", "WlsEstimator", "estimate_state"]
+
+
+class EstimationError(RuntimeError):
+    """Raised when the estimator cannot produce a solution."""
+
+
+class WlsEstimator:
+    """Gauss-Newton WLS estimator over a fixed network + measurement set.
+
+    Parameters
+    ----------
+    net:
+        The (sub)network being estimated.
+    mset:
+        Measurements; must make the network observable.
+    solver:
+        Normal-equation strategy: ``"lu"`` (default), ``"pcg"`` or
+        ``"lsqr"``.
+    reference_bus:
+        Bus index whose angle is fixed when no PMU angles are present
+        (default: the network's first slack bus).
+    pcg_preconditioner:
+        Preconditioner for ``solver="pcg"``.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        mset: MeasurementSet,
+        *,
+        solver: str = "lu",
+        reference_bus: int | None = None,
+        pcg_preconditioner="jacobi",
+    ):
+        self.net = net
+        self.mset = mset
+        self.model = MeasurementModel(net, mset)
+        self.solver = solver
+        self.pcg_preconditioner = pcg_preconditioner
+        self.has_pmu_angles = mset.count(MeasType.PMU_VA) > 0
+        if reference_bus is None:
+            slacks = net.slack_buses
+            reference_bus = int(slacks[0]) if len(slacks) else 0
+        self.reference_bus = int(reference_bus)
+
+        n = net.n_bus
+        if self.has_pmu_angles:
+            self._keep = np.arange(2 * n)
+        else:
+            self._keep = np.delete(np.arange(2 * n), self.reference_bus)
+
+    @property
+    def n_states(self) -> int:
+        """Number of free state variables."""
+        return len(self._keep)
+
+    def estimate(
+        self,
+        *,
+        x0: tuple[np.ndarray, np.ndarray] | None = None,
+        tol: float = 1e-8,
+        max_iter: int = 25,
+        reference_angle: float = 0.0,
+    ) -> EstimationResult:
+        """Run Gauss-Newton from ``x0`` (default flat start).
+
+        Returns an :class:`EstimationResult`; raises
+        :class:`EstimationError` on a failed normal-equation solve (e.g.
+        unobservable network).
+        """
+        net, model, ms = self.net, self.model, self.mset
+        n = net.n_bus
+        if len(ms) < self.n_states:
+            raise EstimationError(
+                f"underdetermined: {len(ms)} measurements for "
+                f"{self.n_states} states"
+            )
+
+        if x0 is None:
+            Vm = np.ones(n)
+            Va = np.full(n, reference_angle)
+        else:
+            Vm, Va = x0[0].copy(), x0[1].copy()
+        if not self.has_pmu_angles:
+            Va[self.reference_bus] = reference_angle
+
+        w = ms.weights
+        step_norms: list[float] = []
+        converged = False
+        it = 0
+        for it in range(1, max_iter + 1):
+            r = ms.z - model.h(Vm, Va)
+            H = model.jacobian(Vm, Va).tocsc()[:, self._keep]
+            try:
+                dx = solve_normal_equations(
+                    H,
+                    w,
+                    r,
+                    method=self.solver,
+                    pcg_preconditioner=self.pcg_preconditioner,
+                )
+            except Exception as exc:
+                raise EstimationError(f"normal-equation solve failed: {exc}") from exc
+
+            full_dx = np.zeros(2 * n)
+            full_dx[self._keep] = dx
+            Va += full_dx[:n]
+            Vm += full_dx[n:]
+            step = float(np.max(np.abs(dx))) if len(dx) else 0.0
+            step_norms.append(step)
+            if step < tol:
+                converged = True
+                break
+
+        r = ms.z - model.h(Vm, Va)
+        objective = float(r @ (w * r))
+        return EstimationResult(
+            converged=converged,
+            iterations=it,
+            Vm=Vm,
+            Va=Va,
+            residuals=r,
+            objective=objective,
+            dof=len(ms) - self.n_states,
+            step_norms=step_norms,
+        )
+
+
+def estimate_state(
+    net: Network,
+    mset: MeasurementSet,
+    *,
+    solver: str = "lu",
+    **kwargs,
+) -> EstimationResult:
+    """One-call WLS estimation (constructs a :class:`WlsEstimator`)."""
+    est = WlsEstimator(net, mset, solver=solver)
+    return est.estimate(**kwargs)

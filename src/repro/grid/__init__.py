@@ -1,0 +1,35 @@
+"""Power network substrate: data model, admittances, power flow, test cases."""
+
+from .builder import NetworkBuilder
+from .matpower import dump_matpower, load_matpower, parse_matpower, save_matpower
+from .islands import find_islands, is_single_island, subgraph_components
+from .network import BusType, Network, NetworkError
+from .powerflow import (
+    PowerFlowError,
+    PowerFlowResult,
+    run_ac_power_flow,
+    run_dc_power_flow,
+)
+from .ybus import BranchAdmittances, branch_admittances, build_yf_yt, build_ybus
+
+__all__ = [
+    "BusType",
+    "Network",
+    "NetworkError",
+    "BranchAdmittances",
+    "branch_admittances",
+    "build_ybus",
+    "build_yf_yt",
+    "PowerFlowError",
+    "PowerFlowResult",
+    "run_ac_power_flow",
+    "run_dc_power_flow",
+    "find_islands",
+    "parse_matpower",
+    "load_matpower",
+    "dump_matpower",
+    "save_matpower",
+    "NetworkBuilder",
+    "is_single_island",
+    "subgraph_components",
+]

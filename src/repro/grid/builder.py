@@ -1,0 +1,156 @@
+"""Fluent network construction API.
+
+For users assembling systems programmatically instead of loading case
+files::
+
+    net = (NetworkBuilder(base_mva=100)
+           .add_bus(1, slack=True, vm=1.02)
+           .add_bus(2, pd=30, qd=10)
+           .add_bus(3, pd=80, qd=30)
+           .add_gen(1, pg=0)
+           .add_gen(2, pg=80, vg=1.01)
+           .add_line(1, 2, r=0.01, x=0.05, b=0.02)
+           .add_line(1, 3, r=0.02, x=0.08)
+           .add_line(2, 3, r=0.02, x=0.06)
+           .build())
+
+Buses are identified by user-chosen numbers (any positive ints); the
+builder validates references at ``build()`` through the normal
+:class:`~repro.grid.network.Network` invariants.
+"""
+
+from __future__ import annotations
+
+from .network import BusType, Network
+
+__all__ = ["NetworkBuilder"]
+
+
+class NetworkBuilder:
+    """Incrementally builds a :class:`Network`."""
+
+    def __init__(self, *, base_mva: float = 100.0, name: str = "built-network"):
+        if base_mva <= 0:
+            raise ValueError("base_mva must be positive")
+        self.base_mva = base_mva
+        self.name = name
+        self._bus_rows: list[list[float]] = []
+        self._gen_rows: list[list[float]] = []
+        self._branch_rows: list[list[float]] = []
+        self._bus_ids: set[int] = set()
+        self._has_slack = False
+
+    # ------------------------------------------------------------------
+    def add_bus(
+        self,
+        bus_id: int,
+        *,
+        pd: float = 0.0,
+        qd: float = 0.0,
+        gs: float = 0.0,
+        bs: float = 0.0,
+        slack: bool = False,
+        pv: bool = False,
+        vm: float = 1.0,
+        va_deg: float = 0.0,
+        base_kv: float = 138.0,
+        area: int = 1,
+    ) -> "NetworkBuilder":
+        """Add a bus.  ``pd``/``qd`` in MW/MVAr; ``slack`` marks the
+        reference (exactly one required); ``pv`` marks a voltage-controlled
+        bus (usually set implicitly by :meth:`add_gen`)."""
+        if bus_id in self._bus_ids:
+            raise ValueError(f"duplicate bus id {bus_id}")
+        if slack and self._has_slack:
+            raise ValueError("only one slack bus allowed")
+        btype = BusType.SLACK if slack else (BusType.PV if pv else BusType.PQ)
+        self._bus_rows.append(
+            [bus_id, btype, pd, qd, gs, bs, area, vm, va_deg, base_kv, 1, 1.1, 0.9]
+        )
+        self._bus_ids.add(bus_id)
+        self._has_slack = self._has_slack or slack
+        return self
+
+    def add_gen(
+        self,
+        bus_id: int,
+        *,
+        pg: float = 0.0,
+        qg: float = 0.0,
+        vg: float = 1.0,
+        qmax: float = 9999.0,
+        qmin: float = -9999.0,
+        in_service: bool = True,
+    ) -> "NetworkBuilder":
+        """Add a generating unit at an existing bus.
+
+        A PQ bus hosting an in-service unit is promoted to PV
+        automatically (the standard convention)."""
+        if bus_id not in self._bus_ids:
+            raise ValueError(f"generator references unknown bus {bus_id}")
+        self._gen_rows.append(
+            [bus_id, pg, qg, qmax, qmin, vg, self.base_mva,
+             1 if in_service else 0, max(pg * 2, 100.0), 0.0]
+        )
+        if in_service:
+            for row in self._bus_rows:
+                if row[0] == bus_id and row[1] == BusType.PQ:
+                    row[1] = BusType.PV
+        return self
+
+    def add_line(
+        self,
+        from_bus: int,
+        to_bus: int,
+        *,
+        r: float,
+        x: float,
+        b: float = 0.0,
+        in_service: bool = True,
+    ) -> "NetworkBuilder":
+        """Add a transmission line (per-unit impedances)."""
+        return self._add_branch(from_bus, to_bus, r, x, b, 0.0, 0.0, in_service)
+
+    def add_transformer(
+        self,
+        from_bus: int,
+        to_bus: int,
+        *,
+        x: float,
+        r: float = 0.0,
+        tap: float = 1.0,
+        shift_deg: float = 0.0,
+        in_service: bool = True,
+    ) -> "NetworkBuilder":
+        """Add a transformer with off-nominal tap and/or phase shift."""
+        if tap <= 0:
+            raise ValueError("tap must be positive")
+        return self._add_branch(
+            from_bus, to_bus, r, x, 0.0, tap, shift_deg, in_service
+        )
+
+    def _add_branch(self, f, t, r, x, b, tap, shift, in_service) -> "NetworkBuilder":
+        for bus in (f, t):
+            if bus not in self._bus_ids:
+                raise ValueError(f"branch references unknown bus {bus}")
+        self._branch_rows.append(
+            [f, t, r, x, b, 0, 0, 0, tap, shift, 1 if in_service else 0,
+             -360, 360]
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> Network:
+        """Validate and return the network."""
+        if not self._bus_rows:
+            raise ValueError("no buses added")
+        if not self._has_slack:
+            raise ValueError("a slack bus is required (add_bus(..., slack=True))")
+        case = {
+            "name": self.name,
+            "baseMVA": self.base_mva,
+            "bus": [list(r) for r in self._bus_rows],
+            "gen": [list(r) for r in self._gen_rows],
+            "branch": [list(r) for r in self._branch_rows],
+        }
+        return Network.from_case(case)

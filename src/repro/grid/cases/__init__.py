@@ -1,0 +1,26 @@
+"""Bundled test systems.
+
+- :func:`case4` — a 4-bus didactic system used by unit tests.
+- :func:`case14` — the IEEE 14-bus test case (the paper's per-subsystem size).
+- :func:`case118` — the IEEE 118-bus test case, the paper's test system.
+- :func:`synthetic_grid` — parametric synthetic grids up to WECC scale.
+
+Each ``caseNN`` function returns a :class:`repro.grid.network.Network`; the
+raw MATPOWER-style dictionaries are available via ``caseNN_dict``.
+"""
+
+from .case4 import case4, case4_dict
+from .case14 import case14, case14_dict
+from .case118 import case118, case118_dict
+from .synthetic import SyntheticGridSpec, synthetic_grid
+
+__all__ = [
+    "case4",
+    "case4_dict",
+    "case14",
+    "case14_dict",
+    "case118",
+    "case118_dict",
+    "SyntheticGridSpec",
+    "synthetic_grid",
+]

@@ -1,0 +1,45 @@
+"""A 4-bus didactic test system.
+
+Small enough that power-flow and estimation results can be checked by hand;
+used heavily by the unit tests.  One slack, one PV and two PQ buses in a
+ring with one diagonal.
+"""
+
+from __future__ import annotations
+
+from ..network import Network
+
+__all__ = ["case4", "case4_dict"]
+
+
+def case4_dict() -> dict:
+    """MATPOWER-style dictionary for the 4-bus system."""
+    return {
+        "name": "case4",
+        "baseMVA": 100.0,
+        # BUS_I TYPE PD  QD  GS BS AREA VM    VA  KV  ZONE VMAX VMIN
+        "bus": [
+            [1, 3, 0.0, 0.0, 0, 0, 1, 1.02, 0.0, 138, 1, 1.06, 0.94],
+            [2, 2, 30.0, 10.0, 0, 0, 1, 1.01, 0.0, 138, 1, 1.06, 0.94],
+            [3, 1, 80.0, 30.0, 0, 0, 1, 1.00, 0.0, 138, 1, 1.06, 0.94],
+            [4, 1, 50.0, 20.0, 0, 0, 2, 1.00, 0.0, 138, 1, 1.06, 0.94],
+        ],
+        # GEN_BUS PG   QG  QMAX QMIN VG    MBASE STATUS PMAX PMIN
+        "gen": [
+            [1, 0.0, 0.0, 150, -150, 1.02, 100, 1, 300, 0],
+            [2, 80.0, 0.0, 100, -100, 1.01, 100, 1, 200, 0],
+        ],
+        # F T  R      X     B      RATEA RATEB RATEC TAP SHIFT STATUS ANGMIN ANGMAX
+        "branch": [
+            [1, 2, 0.01, 0.05, 0.02, 250, 250, 250, 0, 0, 1, -360, 360],
+            [1, 3, 0.02, 0.08, 0.02, 250, 250, 250, 0, 0, 1, -360, 360],
+            [2, 3, 0.02, 0.06, 0.02, 250, 250, 250, 0, 0, 1, -360, 360],
+            [2, 4, 0.03, 0.10, 0.03, 250, 250, 250, 0, 0, 1, -360, 360],
+            [3, 4, 0.02, 0.07, 0.02, 250, 250, 250, 0, 0, 1, -360, 360],
+        ],
+    }
+
+
+def case4() -> Network:
+    """The 4-bus system as a :class:`Network`."""
+    return Network.from_case(case4_dict())

@@ -1,0 +1,182 @@
+"""Synthetic grid generator.
+
+Builds parametric multi-area transmission systems for scaling studies — in
+particular the WECC-scale extension the paper names as ongoing work (37
+balancing authorities).  Each area is a random connected mesh; areas are
+joined by tie lines along a random connected area graph, mirroring the
+balancing-authority structure that distributed state estimation assumes.
+
+Generation is sized to cover the load with margin in every area so the AC
+power flow converges from a flat start for any seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network import Network
+
+__all__ = ["SyntheticGridSpec", "synthetic_grid"]
+
+
+@dataclass(frozen=True)
+class SyntheticGridSpec:
+    """Parameters of a synthetic multi-area grid.
+
+    Attributes
+    ----------
+    n_areas:
+        Number of areas (balancing authorities).
+    buses_per_area:
+        Buses in each area.
+    mesh_degree:
+        Average number of extra intra-area edges per bus beyond the spanning
+        tree (0 gives a radial area).
+    ties_per_border:
+        Tie lines per adjacent area pair.
+    area_degree:
+        Average extra adjacencies per area beyond the area spanning tree.
+    load_mw:
+        Mean bus load in MW (half the buses carry load).
+    seed:
+        RNG seed; the same spec + seed always yields the same grid.
+    """
+
+    n_areas: int = 9
+    buses_per_area: int = 13
+    mesh_degree: float = 0.8
+    ties_per_border: int = 2
+    area_degree: float = 0.4
+    load_mw: float = 40.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_areas < 1:
+            raise ValueError("n_areas must be >= 1")
+        if self.buses_per_area < 2:
+            raise ValueError("buses_per_area must be >= 2")
+
+
+def synthetic_grid(spec: SyntheticGridSpec | None = None, **kwargs) -> Network:
+    """Generate a synthetic grid.
+
+    Either pass a :class:`SyntheticGridSpec` or the spec's fields as keyword
+    arguments.  Returns a connected :class:`Network` whose AC power flow
+    converges from a flat start.
+    """
+    if spec is None:
+        spec = SyntheticGridSpec(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a spec or keyword arguments, not both")
+
+    rng = np.random.default_rng(spec.seed)
+    n = spec.n_areas * spec.buses_per_area
+    bus_area = np.repeat(np.arange(spec.n_areas), spec.buses_per_area)
+
+    edges: list[tuple[int, int]] = []
+    # Intra-area: random spanning tree + extra mesh edges.
+    for a in range(spec.n_areas):
+        lo = a * spec.buses_per_area
+        members = np.arange(lo, lo + spec.buses_per_area)
+        order = rng.permutation(members)
+        for k in range(1, len(order)):
+            attach = order[rng.integers(0, k)]
+            edges.append((int(order[k]), int(attach)))
+        n_extra = int(round(spec.mesh_degree * spec.buses_per_area))
+        for _ in range(n_extra):
+            u, v = rng.choice(members, size=2, replace=False)
+            edges.append((int(u), int(v)))
+
+    # Area graph: spanning tree + extra adjacencies; tie lines per border.
+    borders: list[tuple[int, int]] = []
+    area_order = rng.permutation(spec.n_areas)
+    for k in range(1, spec.n_areas):
+        attach = area_order[rng.integers(0, k)]
+        borders.append((int(area_order[k]), int(attach)))
+    for _ in range(int(round(spec.area_degree * spec.n_areas))):
+        if spec.n_areas < 2:
+            break
+        a, b = rng.choice(spec.n_areas, size=2, replace=False)
+        if (a, b) not in borders and (b, a) not in borders:
+            borders.append((int(a), int(b)))
+    for a, b in borders:
+        for _ in range(spec.ties_per_border):
+            u = int(rng.integers(a * spec.buses_per_area, (a + 1) * spec.buses_per_area))
+            v = int(rng.integers(b * spec.buses_per_area, (b + 1) * spec.buses_per_area))
+            edges.append((u, v))
+
+    # Deduplicate (keep first occurrence) and drop accidental self-loops.
+    seen: set[tuple[int, int]] = set()
+    uniq: list[tuple[int, int]] = []
+    for u, v in edges:
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key not in seen:
+            seen.add(key)
+            uniq.append((u, v))
+
+    # Loads: roughly half the buses carry load.
+    Pd = np.zeros(n)
+    Qd = np.zeros(n)
+    load_buses = rng.random(n) < 0.5
+    load_buses[0] = False  # keep the slack bus clean for readability
+    Pd[load_buses] = rng.uniform(0.4, 1.6, load_buses.sum()) * spec.load_mw
+    Qd[load_buses] = Pd[load_buses] * rng.uniform(0.2, 0.5, load_buses.sum())
+
+    # Generators: one or two PV buses per area sized to cover area load + margin.
+    gen_rows = []
+    bus_type = np.ones(n, dtype=int)
+    slack_bus = 0
+    bus_type[slack_bus] = 3
+    total_load = Pd.sum()
+    for a in range(spec.n_areas):
+        lo = a * spec.buses_per_area
+        members = np.arange(lo, lo + spec.buses_per_area)
+        area_load = Pd[members].sum()
+        n_units = 2 if spec.buses_per_area >= 8 else 1
+        gen_buses = rng.choice(members, size=n_units, replace=False)
+        for gb in gen_buses:
+            if gb == slack_bus:
+                continue
+            bus_type[gb] = 2
+            # Slight over-generation per area: the slack then only absorbs
+            # losses plus a small residual, instead of serving a system-wide
+            # deficit through its handful of incident lines.
+            pg = area_load / n_units * rng.uniform(1.0, 1.1)
+            vg = rng.uniform(1.0, 1.04)
+            qlim = max(50.0, 0.8 * pg)
+            gen_rows.append([gb + 1, pg, 0.0, qlim, -qlim, vg, 100, 1, pg * 2 + 50, 0])
+    # The slack unit balances losses and the small area residuals.
+    gen_rows.append(
+        [slack_bus + 1, 0.0, 0.0, total_load, -total_load, 1.02, 100, 1,
+         2 * total_load + 100, 0]
+    )
+
+    bus_rows = [
+        [i + 1, int(bus_type[i]), Pd[i], Qd[i], 0.0, 0.0, int(bus_area[i]) + 1,
+         1.0, 0.0, 138.0, 1, 1.06, 0.94]
+        for i in range(n)
+    ]
+
+    # Impedances shrink with area size so long random chains stay stiff
+    # enough for the power flow to converge at any scale.
+    x_scale = min(1.0, 13.0 / spec.buses_per_area)
+    branch_rows = []
+    for u, v in uniq:
+        tie = bus_area[u] != bus_area[v]
+        x = rng.uniform(0.02, 0.06) if tie else rng.uniform(0.02, 0.10) * x_scale
+        r = x * rng.uniform(0.15, 0.35)
+        b = x * rng.uniform(0.1, 0.3)
+        branch_rows.append([u + 1, v + 1, r, x, b, 0, 0, 0, 0, 0, 1, -360, 360])
+
+    case = {
+        "name": f"synthetic[{spec.n_areas}x{spec.buses_per_area},seed={spec.seed}]",
+        "baseMVA": 100.0,
+        "bus": bus_rows,
+        "gen": gen_rows,
+        "branch": branch_rows,
+    }
+    return Network.from_case(case)

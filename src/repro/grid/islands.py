@@ -1,0 +1,88 @@
+"""Topology connectivity analysis: electrical islands.
+
+State estimation requires a connected observable network per estimator; the
+decomposition code uses these helpers to check that subsystems are internally
+connected and that the overall case is a single island.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from .network import Network
+
+__all__ = ["find_islands", "is_single_island", "subgraph_components"]
+
+
+def find_islands(net: Network) -> list[np.ndarray]:
+    """Return the electrical islands as arrays of internal bus indices.
+
+    Only in-service branches connect buses.  Islands are ordered by their
+    smallest bus index; each island's indices are sorted.
+    """
+    labels = _component_labels(net.n_bus, net.adjacency_pairs())
+    return _group(labels)
+
+
+def is_single_island(net: Network) -> bool:
+    """True when every bus is reachable from every other bus."""
+    return len(find_islands(net)) == 1
+
+
+def subgraph_components(
+    n_bus: int, pairs: np.ndarray, members: np.ndarray
+) -> list[np.ndarray]:
+    """Connected components of the subgraph induced by ``members``.
+
+    Parameters
+    ----------
+    n_bus:
+        Total bus count (defines index space of ``pairs``).
+    pairs:
+        Unordered edge list, shape ``(m, 2)``.
+    members:
+        Bus indices defining the induced subgraph.
+
+    Returns
+    -------
+    list of arrays of bus indices (in the original index space), one per
+    connected component of the induced subgraph.
+    """
+    members = np.asarray(members, dtype=np.int64)
+    pos = -np.ones(n_bus, dtype=np.int64)
+    pos[members] = np.arange(len(members))
+    if len(pairs):
+        mask = (pos[pairs[:, 0]] >= 0) & (pos[pairs[:, 1]] >= 0)
+        sub_pairs = np.column_stack([pos[pairs[mask, 0]], pos[pairs[mask, 1]]])
+    else:
+        sub_pairs = np.zeros((0, 2), dtype=np.int64)
+    labels = _component_labels(len(members), sub_pairs)
+    return [members[idx] for idx in _group(labels)]
+
+
+def _component_labels(n: int, pairs: np.ndarray) -> np.ndarray:
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if len(pairs):
+        data = np.ones(len(pairs))
+        adj = sp.coo_matrix((data, (pairs[:, 0], pairs[:, 1])), shape=(n, n))
+    else:
+        adj = sp.coo_matrix((n, n))
+    _, labels = connected_components(adj, directed=False)
+    return labels
+
+
+def _group(labels: np.ndarray) -> list[np.ndarray]:
+    order = np.argsort(labels, kind="stable")
+    groups: list[np.ndarray] = []
+    if not len(labels):
+        return groups
+    sorted_labels = labels[order]
+    starts = np.flatnonzero(np.r_[True, sorted_labels[1:] != sorted_labels[:-1]])
+    bounds = np.r_[starts, len(labels)]
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        groups.append(np.sort(order[a:b]))
+    groups.sort(key=lambda g: int(g[0]))
+    return groups

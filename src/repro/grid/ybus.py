@@ -1,0 +1,81 @@
+"""Sparse admittance matrix construction.
+
+Builds the bus admittance matrix ``Ybus`` and the branch admittance blocks
+``(Yff, Yft, Ytf, Ytt)`` used by power flow and by the measurement-function
+Jacobians.  The standard pi-model with off-nominal taps and phase shifters is
+used:
+
+    yff = (ys + j b/2) / tap^2
+    yft = -ys / conj(tap_c),   ytf = -ys / tap_c,   ytt = ys + j b/2
+
+with ``ys = 1/(r + jx)`` and complex tap ``tap_c = tap * exp(j shift)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .network import Network
+
+__all__ = ["BranchAdmittances", "branch_admittances", "build_ybus", "build_yf_yt"]
+
+
+@dataclass(frozen=True)
+class BranchAdmittances:
+    """Per-branch pi-model admittance terms (zero for out-of-service branches)."""
+
+    yff: np.ndarray
+    yft: np.ndarray
+    ytf: np.ndarray
+    ytt: np.ndarray
+
+
+def branch_admittances(net: Network) -> BranchAdmittances:
+    """Compute the four per-branch admittance terms for all branches."""
+    status = net.br_status.astype(float)
+    ys = status / (net.r + 1j * net.x)
+    bc = status * net.b / 2.0
+    tap_c = net.tap * np.exp(1j * net.shift)
+
+    ytt = ys + 1j * bc
+    yff = ytt / (net.tap * net.tap)
+    yft = -ys / np.conj(tap_c)
+    ytf = -ys / tap_c
+    return BranchAdmittances(yff=yff, yft=yft, ytf=ytf, ytt=ytt)
+
+
+def build_ybus(net: Network) -> sp.csr_matrix:
+    """Build the n_bus x n_bus complex bus admittance matrix (CSR)."""
+    n = net.n_bus
+    adm = branch_admittances(net)
+    ysh = net.Gs + 1j * net.Bs
+
+    rows = np.concatenate([net.f, net.f, net.t, net.t, np.arange(n)])
+    cols = np.concatenate([net.f, net.t, net.f, net.t, np.arange(n)])
+    vals = np.concatenate([adm.yff, adm.yft, adm.ytf, adm.ytt, ysh])
+    ybus = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    ybus.sum_duplicates()
+    return ybus
+
+
+def build_yf_yt(net: Network) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """Build branch-to-bus admittance maps ``Yf`` and ``Yt``.
+
+    ``Yf @ V`` gives the current injected into each branch at its *from* end
+    and ``Yt @ V`` at its *to* end; both are ``n_branch x n_bus``.
+    """
+    nl, n = net.n_branch, net.n_bus
+    adm = branch_admittances(net)
+    il = np.arange(nl)
+    rows = np.concatenate([il, il])
+    cols = np.concatenate([net.f, net.t])
+    yf = sp.coo_matrix(
+        (np.concatenate([adm.yff, adm.yft]), (rows, cols)), shape=(nl, n)
+    ).tocsr()
+    yt = sp.coo_matrix(
+        (np.concatenate([adm.ytf, adm.ytt]), (rows, cols)), shape=(nl, n)
+    ).tocsr()
+    return yf, yt

@@ -1,0 +1,88 @@
+"""Telemetry failure injection: RTU and communication-link dropouts.
+
+The related work the paper builds on (Bose et al.) evaluates hierarchical
+estimators under "failure at the network connection" scenarios.  These
+helpers produce those scenarios: dropping the channels of individual RTUs
+(one RTU per bus: its voltage/injection channels plus the flow meters at
+its ends) or of whole regions (a control-centre communication link).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid.network import Network
+from .types import MeasType, MeasurementSet
+
+__all__ = ["drop_rtu", "drop_region", "random_rtu_dropout"]
+
+
+def _rows_touching_buses(
+    net: Network, mset: MeasurementSet, buses: set[int]
+) -> np.ndarray:
+    """Row mask for channels metered at any of ``buses``.
+
+    Bus channels belong to their bus; branch channels belong to the
+    metered-end bus (from side for F-types, to side for T-types).
+    """
+    mask = np.zeros(len(mset), dtype=bool)
+    for row, m in enumerate(mset):
+        if m.mtype.is_bus:
+            mask[row] = m.element in buses
+        elif m.mtype in (MeasType.P_FLOW_F, MeasType.Q_FLOW_F, MeasType.I_MAG_F):
+            mask[row] = int(net.f[m.element]) in buses
+        else:
+            mask[row] = int(net.t[m.element]) in buses
+    return mask
+
+
+def drop_rtu(
+    net: Network, mset: MeasurementSet, buses
+) -> tuple[MeasurementSet, np.ndarray]:
+    """Remove all channels metered at the given buses (RTU outage).
+
+    Returns ``(surviving measurements, dropped row indices)``.
+    """
+    buses = {int(b) for b in np.atleast_1d(buses)}
+    for b in buses:
+        if not 0 <= b < net.n_bus:
+            raise ValueError(f"bus {b} out of range")
+    lost = _rows_touching_buses(net, mset, buses)
+    return mset.subset(~lost), np.flatnonzero(lost)
+
+
+def drop_region(
+    net: Network, mset: MeasurementSet, region_buses
+) -> tuple[MeasurementSet, np.ndarray]:
+    """Remove every channel of a region (communication-link failure).
+
+    Identical mechanics to :func:`drop_rtu` but named for the scenario: the
+    link between a balancing authority and its telemetry fails, taking the
+    whole region's channels with it.
+    """
+    return drop_rtu(net, mset, region_buses)
+
+
+def random_rtu_dropout(
+    net: Network,
+    mset: MeasurementSet,
+    *,
+    probability: float,
+    rng: np.random.Generator | None = None,
+    protect: np.ndarray | None = None,
+) -> tuple[MeasurementSet, np.ndarray]:
+    """Drop each bus's RTU independently with the given probability.
+
+    ``protect`` lists bus indices that never drop (e.g. PMU anchor sites
+    whose loss would unanchor a subsystem).  Returns the surviving set and
+    the list of lost buses.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    rng = rng or np.random.default_rng()
+    lost = rng.random(net.n_bus) < probability
+    if protect is not None:
+        lost[np.asarray(protect, dtype=np.int64)] = False
+    lost_buses = np.flatnonzero(lost)
+    surviving, _ = drop_rtu(net, mset, lost_buses) if lost_buses.size else (mset, None)
+    return surviving, lost_buses

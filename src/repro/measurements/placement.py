@@ -1,0 +1,129 @@
+"""Metering placement plans.
+
+A placement is a :class:`MeasurementSet` template with zero values — it fixes
+*which* quantities are metered; the generator fills in values from a solved
+operating point.  Three plans are provided:
+
+- :func:`full_placement` — everything metered (maximum redundancy).
+- :func:`scada_placement` — a realistic SCADA complement: injections at all
+  buses, flows on a configurable fraction of branches, voltages at generator
+  buses.  Always observable (injections alone observe a connected network).
+- :func:`pmu_placement` — greedy PMU siting so every bus is adjacent to a
+  PMU, plus the angle/voltage measurements those PMUs produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid.network import Network
+from .types import DEFAULT_SIGMAS, Measurement, MeasType, MeasurementSet
+
+__all__ = ["full_placement", "scada_placement", "pmu_placement", "greedy_pmu_sites"]
+
+
+def _mk(mtype: MeasType, element: int, sigmas: dict | None) -> Measurement:
+    table = sigmas or DEFAULT_SIGMAS
+    return Measurement(mtype, int(element), 0.0, table[mtype])
+
+
+def full_placement(net: Network, sigmas: dict | None = None) -> MeasurementSet:
+    """Meter everything: V at all buses, P/Q injections at all buses, P/Q
+    flows at both ends of all in-service branches."""
+    ms: list[Measurement] = []
+    for b in range(net.n_bus):
+        ms.append(_mk(MeasType.V_MAG, b, sigmas))
+        ms.append(_mk(MeasType.P_INJ, b, sigmas))
+        ms.append(_mk(MeasType.Q_INJ, b, sigmas))
+    for k in net.live_branches():
+        ms.append(_mk(MeasType.P_FLOW_F, k, sigmas))
+        ms.append(_mk(MeasType.Q_FLOW_F, k, sigmas))
+        ms.append(_mk(MeasType.P_FLOW_T, k, sigmas))
+        ms.append(_mk(MeasType.Q_FLOW_T, k, sigmas))
+    return MeasurementSet(ms)
+
+
+def scada_placement(
+    net: Network,
+    *,
+    flow_fraction: float = 0.6,
+    sigmas: dict | None = None,
+    seed: int = 0,
+) -> MeasurementSet:
+    """A realistic SCADA metering complement.
+
+    P/Q injections at every bus (boundary telemetry), P/Q from-side flows on
+    a random ``flow_fraction`` of in-service branches, and voltage magnitude
+    at generator buses.  Redundancy is roughly ``2 + 2*flow_fraction*nl/n``.
+    """
+    if not 0.0 <= flow_fraction <= 1.0:
+        raise ValueError("flow_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    ms: list[Measurement] = []
+    for b in range(net.n_bus):
+        ms.append(_mk(MeasType.P_INJ, b, sigmas))
+        ms.append(_mk(MeasType.Q_INJ, b, sigmas))
+    gen_buses = np.unique(net.gen_bus[net.gen_status > 0])
+    for b in gen_buses:
+        ms.append(_mk(MeasType.V_MAG, b, sigmas))
+    live = net.live_branches()
+    n_flow = int(round(flow_fraction * len(live)))
+    chosen = rng.choice(live, size=n_flow, replace=False) if n_flow else []
+    for k in sorted(int(k) for k in np.atleast_1d(chosen)):
+        ms.append(_mk(MeasType.P_FLOW_F, k, sigmas))
+        ms.append(_mk(MeasType.Q_FLOW_F, k, sigmas))
+    return MeasurementSet(ms)
+
+
+def greedy_pmu_sites(net: Network) -> np.ndarray:
+    """Greedy dominating-set PMU siting.
+
+    Repeatedly picks the bus covering the most yet-uncovered buses (a bus is
+    covered when it hosts a PMU or neighbours one).  Returns sorted bus
+    indices.  Greedy gives the usual O(log n) approximation of the classic
+    PMU placement problem, which is all the substrate needs.
+    """
+    n = net.n_bus
+    pairs = net.adjacency_pairs()
+    nbrs: list[set[int]] = [set() for _ in range(n)]
+    for u, v in pairs:
+        nbrs[u].add(int(v))
+        nbrs[v].add(int(u))
+    covered = np.zeros(n, dtype=bool)
+    sites: list[int] = []
+    while not covered.all():
+        best, best_gain = -1, -1
+        for b in range(n):
+            gain = (not covered[b]) + sum(1 for w in nbrs[b] if not covered[w])
+            if gain > best_gain:
+                best, best_gain = b, gain
+        sites.append(best)
+        covered[best] = True
+        for w in nbrs[best]:
+            covered[w] = True
+    return np.array(sorted(sites), dtype=np.int64)
+
+
+def pmu_placement(
+    net: Network,
+    sites: np.ndarray | None = None,
+    sigmas: dict | None = None,
+) -> MeasurementSet:
+    """Measurements produced by PMUs at ``sites`` (default: greedy siting).
+
+    Each PMU measures its bus voltage phasor (magnitude + synchronized
+    angle) and the from-side current magnitude of every incident in-service
+    branch.
+    """
+    if sites is None:
+        sites = greedy_pmu_sites(net)
+    sites = np.asarray(sites, dtype=np.int64)
+    ms: list[Measurement] = []
+    site_set = set(sites.tolist())
+    for b in sites:
+        ms.append(_mk(MeasType.V_MAG, b, sigmas))
+        ms.append(_mk(MeasType.PMU_VA, b, sigmas))
+    for k in net.live_branches():
+        if int(net.f[k]) in site_set:
+            ms.append(_mk(MeasType.I_MAG_F, k, sigmas))
+    return MeasurementSet(ms)

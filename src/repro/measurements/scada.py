@@ -1,0 +1,138 @@
+"""SCADA scan-cycle simulation.
+
+State estimation conventionally consumes SCADA snapshots every ~4 seconds
+(paper, section I).  :class:`ScadaSystem` produces a sequence of
+:class:`TelemetryFrame` objects: at each scan the system load drifts along a
+mean-reverting random walk, the AC power flow is re-solved, and a noisy
+measurement snapshot is sampled at the new operating point.
+
+The per-frame ``noise_level`` follows an Ornstein-Uhlenbeck process around
+1.0 — this is the time-varying measurement noise ``x = f(δt)`` that the
+paper's mapping method estimates per time frame (section IV-B.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid.network import Network
+from ..grid.powerflow import PowerFlowResult, run_ac_power_flow
+from .generator import generate_measurements
+from .types import MeasurementSet
+
+__all__ = ["TelemetryFrame", "NoiseProcess", "ScadaSystem"]
+
+
+@dataclass
+class TelemetryFrame:
+    """One SCADA scan: timestamp, measurements, and generating conditions."""
+
+    t: float
+    mset: MeasurementSet
+    noise_level: float
+    pf: PowerFlowResult
+
+
+class NoiseProcess:
+    """Mean-reverting (Ornstein-Uhlenbeck) noise-level process.
+
+    ``x_{k+1} = x_k + theta*(mean - x_k) + sigma*N(0,1)``, clipped at
+    ``floor`` so the level stays positive.  The sequence is the "noise level
+    x" whose Gaussian statistics the paper assumes when estimating iteration
+    counts.
+    """
+
+    def __init__(
+        self,
+        mean: float = 1.0,
+        theta: float = 0.3,
+        sigma: float = 0.15,
+        floor: float = 0.05,
+    ):
+        if not 0 < theta <= 1:
+            raise ValueError("theta must be in (0, 1]")
+        self.mean = mean
+        self.theta = theta
+        self.sigma = sigma
+        self.floor = floor
+        self._x = mean
+
+    @property
+    def level(self) -> float:
+        """Current noise level."""
+        return self._x
+
+    def step(self, rng: np.random.Generator) -> float:
+        """Advance one scan and return the new level."""
+        self._x += self.theta * (self.mean - self._x) + self.sigma * rng.standard_normal()
+        self._x = max(self._x, self.floor)
+        return self._x
+
+
+class ScadaSystem:
+    """Generates SCADA telemetry frames for a network.
+
+    Parameters
+    ----------
+    net:
+        The monitored network (not mutated; loads are scaled on copies).
+    placement:
+        Which channels are metered.
+    scan_period:
+        Seconds between scans (default 4.0, the conventional SCADA cycle).
+    load_walk_sigma:
+        Per-scan relative load drift (mean-reverting to the base case).
+    noise:
+        Optional noise-level process; defaults to a nominal OU process.
+    seed:
+        RNG seed; frames are reproducible for a given configuration.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        placement: MeasurementSet,
+        *,
+        scan_period: float = 4.0,
+        load_walk_sigma: float = 0.01,
+        noise: NoiseProcess | None = None,
+        seed: int = 0,
+    ):
+        if scan_period <= 0:
+            raise ValueError("scan_period must be positive")
+        self.net = net
+        self.placement = placement
+        self.scan_period = scan_period
+        self.load_walk_sigma = load_walk_sigma
+        self.noise = noise or NoiseProcess()
+        self._rng = np.random.default_rng(seed)
+        self._scale = 1.0
+        self._k = 0
+
+    def next_frame(self) -> TelemetryFrame:
+        """Produce the next scan: drift load, re-solve, sample measurements."""
+        rng = self._rng
+        # Mean-reverting multiplicative load drift.
+        self._scale += 0.2 * (1.0 - self._scale) + self.load_walk_sigma * rng.standard_normal()
+        self._scale = float(np.clip(self._scale, 0.7, 1.3))
+
+        scaled = self.net.copy()
+        scaled.Pd = self.net.Pd * self._scale
+        scaled.Qd = self.net.Qd * self._scale
+        pf = run_ac_power_flow(scaled)
+
+        level = self.noise.step(rng)
+        mset = generate_measurements(
+            scaled, self.placement, pf, noise_level=level, rng=rng
+        )
+        frame = TelemetryFrame(
+            t=self._k * self.scan_period, mset=mset, noise_level=level, pf=pf
+        )
+        self._k += 1
+        return frame
+
+    def frames(self, n: int) -> list[TelemetryFrame]:
+        """Produce ``n`` consecutive scans."""
+        return [self.next_frame() for _ in range(n)]

@@ -1,0 +1,179 @@
+"""Measurement types and containers.
+
+A measurement refers either to a bus (voltage magnitude, injections, PMU
+phasor angle) or to a branch end (flows, current magnitude).  For vectorised
+evaluation the :class:`MeasurementSet` stores measurements grouped by type as
+index arrays, in a single canonical order that every consumer (h, Jacobian,
+weights) shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["MeasType", "Measurement", "MeasurementSet", "DEFAULT_SIGMAS"]
+
+
+class MeasType(Enum):
+    """Supported measurement types.
+
+    Bus types reference a bus index; branch types reference a branch index
+    (flows at the *from* or *to* end).  ``PMU_VA`` is the synchrophasor
+    voltage-angle measurement that distinguishes PMU-equipped buses.
+    """
+
+    V_MAG = "vm"  # bus voltage magnitude
+    PMU_VA = "va"  # bus voltage angle (synchronized phasor)
+    P_INJ = "pinj"  # bus real power injection
+    Q_INJ = "qinj"  # bus reactive power injection
+    P_FLOW_F = "pf"  # branch real flow, from end
+    Q_FLOW_F = "qf"  # branch reactive flow, from end
+    P_FLOW_T = "pt"  # branch real flow, to end
+    Q_FLOW_T = "qt"  # branch reactive flow, to end
+    I_MAG_F = "ifm"  # branch current magnitude, from end
+
+    @property
+    def is_bus(self) -> bool:
+        """True for bus-referenced types."""
+        return self in (MeasType.V_MAG, MeasType.PMU_VA, MeasType.P_INJ, MeasType.Q_INJ)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for branch-referenced types."""
+        return not self.is_bus
+
+
+#: Default measurement standard deviations (p.u. / radians), typical SCADA
+#: and PMU accuracies used throughout the literature.
+DEFAULT_SIGMAS: dict[MeasType, float] = {
+    MeasType.V_MAG: 0.004,
+    MeasType.PMU_VA: 0.002,
+    MeasType.P_INJ: 0.010,
+    MeasType.Q_INJ: 0.010,
+    MeasType.P_FLOW_F: 0.008,
+    MeasType.Q_FLOW_F: 0.008,
+    MeasType.P_FLOW_T: 0.008,
+    MeasType.Q_FLOW_T: 0.008,
+    MeasType.I_MAG_F: 0.008,
+}
+
+#: Canonical type ordering inside a MeasurementSet.
+_TYPE_ORDER: tuple[MeasType, ...] = (
+    MeasType.V_MAG,
+    MeasType.PMU_VA,
+    MeasType.P_INJ,
+    MeasType.Q_INJ,
+    MeasType.P_FLOW_F,
+    MeasType.Q_FLOW_F,
+    MeasType.P_FLOW_T,
+    MeasType.Q_FLOW_T,
+    MeasType.I_MAG_F,
+)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A single measurement record.
+
+    ``element`` is a bus index for bus types and a branch index for branch
+    types.  ``value`` is the (noisy) measured value in per-unit (radians for
+    ``PMU_VA``); ``sigma`` its standard deviation.
+    """
+
+    mtype: MeasType
+    element: int
+    value: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if self.element < 0:
+            raise ValueError("element index must be non-negative")
+
+
+class MeasurementSet:
+    """A batch of measurements in canonical order, stored struct-of-arrays.
+
+    Canonical order: types in ``_TYPE_ORDER``; within a type, ascending
+    element index with duplicates preserved in insertion order.  All exported
+    arrays (``z``, ``sigma``, Jacobian rows, residuals) use this order.
+    """
+
+    def __init__(self, measurements: list[Measurement]):
+        by_type: dict[MeasType, list[Measurement]] = {t: [] for t in _TYPE_ORDER}
+        for m in measurements:
+            by_type[m.mtype].append(m)
+        for t in _TYPE_ORDER:
+            by_type[t].sort(key=lambda m: m.element)
+
+        self._ordered: list[Measurement] = []
+        self._idx: dict[MeasType, np.ndarray] = {}
+        self._rows: dict[MeasType, np.ndarray] = {}
+        row = 0
+        for t in _TYPE_ORDER:
+            ms = by_type[t]
+            self._ordered.extend(ms)
+            self._idx[t] = np.array([m.element for m in ms], dtype=np.int64)
+            self._rows[t] = np.arange(row, row + len(ms), dtype=np.int64)
+            row += len(ms)
+        self.z = np.array([m.value for m in self._ordered], dtype=float)
+        self.sigma = np.array([m.sigma for m in self._ordered], dtype=float)
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self):
+        return iter(self._ordered)
+
+    def __getitem__(self, i: int) -> Measurement:
+        return self._ordered[i]
+
+    # -- typed access -------------------------------------------------------
+    def elements(self, mtype: MeasType) -> np.ndarray:
+        """Element indices of all measurements of ``mtype`` (canonical order)."""
+        return self._idx[mtype]
+
+    def rows(self, mtype: MeasType) -> np.ndarray:
+        """Row positions of all measurements of ``mtype`` in the stacked vector."""
+        return self._rows[mtype]
+
+    def count(self, mtype: MeasType) -> int:
+        """Number of measurements of a given type."""
+        return len(self._idx[mtype])
+
+    @property
+    def weights(self) -> np.ndarray:
+        """WLS weights ``1/sigma^2``."""
+        return 1.0 / (self.sigma * self.sigma)
+
+    def with_values(self, z: np.ndarray) -> "MeasurementSet":
+        """A copy of this set with replaced measured values (same order)."""
+        if len(z) != len(self):
+            raise ValueError("value vector length mismatch")
+        ms = [
+            Measurement(m.mtype, m.element, float(v), m.sigma)
+            for m, v in zip(self._ordered, z)
+        ]
+        return MeasurementSet(ms)
+
+    def subset(self, keep: np.ndarray) -> "MeasurementSet":
+        """A new set containing the rows selected by boolean/typed index ``keep``."""
+        keep = np.asarray(keep)
+        if keep.dtype == bool:
+            keep = np.flatnonzero(keep)
+        return MeasurementSet([self._ordered[int(i)] for i in keep])
+
+    def merged_with(self, other: "MeasurementSet") -> "MeasurementSet":
+        """Union of two measurement sets (re-canonicalised)."""
+        return MeasurementSet(list(self._ordered) + list(other._ordered))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{t.value}={self.count(t)}" for t in _TYPE_ORDER if self.count(t)
+        )
+        return f"MeasurementSet({len(self)}: {parts})"

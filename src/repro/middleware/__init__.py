@@ -1,0 +1,43 @@
+"""MeDICi-style middleware: endpoints, transports, pipelines, clients."""
+
+from .client import DataBuffer, EndpointRegistry, MWClient
+from .endpoints import Endpoint, parse_endpoint
+from .message import (
+    MAX_FRAME,
+    FrameError,
+    pack_state_update,
+    recv_frame,
+    send_frame,
+    unpack_state_update,
+)
+from .pipeline import MifComponent, MifPipeline
+from .router import MiddlewareFabric
+from .transports import (
+    Connection,
+    InprocTransport,
+    Listener,
+    TcpTransport,
+    transport_for,
+)
+
+__all__ = [
+    "Endpoint",
+    "parse_endpoint",
+    "FrameError",
+    "MAX_FRAME",
+    "send_frame",
+    "recv_frame",
+    "pack_state_update",
+    "unpack_state_update",
+    "Connection",
+    "Listener",
+    "TcpTransport",
+    "InprocTransport",
+    "transport_for",
+    "MifComponent",
+    "MifPipeline",
+    "DataBuffer",
+    "EndpointRegistry",
+    "MWClient",
+    "MiddlewareFabric",
+]

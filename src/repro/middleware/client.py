@@ -1,0 +1,149 @@
+"""Middleware client: the interface-layer API the estimators call.
+
+``MWClient`` provides the paper's ``MW_Client_Send`` / ``MW_Client_Recv``
+(Figure 6): a state estimator names the destination estimator; the client
+resolves its URL through the registry and moves the data, with the
+middleware pipelines doing the routing.  Received data lands in a local
+:class:`DataBuffer` that the data processor drains.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from .transports import InprocTransport, transport_for
+
+__all__ = ["DataBuffer", "EndpointRegistry", "MWClient"]
+
+
+class DataBuffer:
+    """The local data buffer of the architecture's interface layer."""
+
+    def __init__(self):
+        self._q: "queue.Queue[bytes]" = queue.Queue()
+
+    def put(self, payload: bytes) -> None:
+        self._q.put(payload)
+
+    def get(self, timeout: float | None = None) -> bytes:
+        try:
+            return self._q.get(timeout=timeout)
+        except queue.Empty as exc:
+            raise TimeoutError("data buffer empty") from exc
+
+    def __len__(self) -> int:
+        return self._q.qsize()
+
+
+class EndpointRegistry:
+    """Name → endpoint URL resolution (each estimator is uniquely
+    identified by a URL; section IV-A)."""
+
+    def __init__(self):
+        self._names: dict[str, str] = {}
+
+    def register(self, name: str, url: str) -> None:
+        self._names[name] = url
+
+    def resolve(self, name: str) -> str:
+        try:
+            return self._names[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown estimator {name!r}") from exc
+
+    def names(self) -> list[str]:
+        return sorted(self._names)
+
+
+class MWClient:
+    """Per-site middleware client.
+
+    Parameters
+    ----------
+    name:
+        This estimator's name.
+    registry:
+        Shared name → URL registry.  ``send`` resolves the *destination
+        inbound* URL (usually a pipeline inbound endpoint routed to the
+        destination site).
+    inproc:
+        Shared in-process transport when inproc URLs are used.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registry: EndpointRegistry,
+        *,
+        inproc: InprocTransport | None = None,
+    ):
+        self.name = name
+        self.registry = registry
+        self.inproc = inproc
+        self.buffer = DataBuffer()
+        self._listener = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    def serve(self, url: str) -> str:
+        """Start receiving at ``url``; returns the bound URL (tcp port 0 is
+        resolved to the actual port) and registers it under this name."""
+        transport = transport_for(url, inproc=self.inproc)
+        self._listener = transport.listen(url)
+        bound = self._listener.endpoint.url
+        self.registry.register(self.name, bound)
+        self._thread = threading.Thread(
+            target=self._serve_loop, name=f"mw-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return bound
+
+    def _serve_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn = self._listener.accept(timeout=0.2)
+            except (TimeoutError, OSError):
+                continue
+            threading.Thread(
+                target=self._drain, args=(conn,), daemon=True
+            ).start()
+
+    def _drain(self, conn) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    payload = conn.recv_bytes(timeout=0.2)
+                except TimeoutError:
+                    continue
+                except Exception:
+                    break
+                self.bytes_received += len(payload)
+                self.buffer.put(payload)
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def send(self, destination: str, payload: bytes) -> None:
+        """``MW_Client_Send``: deliver ``payload`` toward ``destination``.
+
+        ``destination`` may be a registered estimator name or a raw URL
+        (e.g. a middleware pipeline inbound endpoint).
+        """
+        url = destination if "://" in destination else self.registry.resolve(destination)
+        transport = transport_for(url, inproc=self.inproc)
+        with transport.connect(url) as conn:
+            conn.send_bytes(payload)
+        self.bytes_sent += len(payload)
+
+    def recv(self, timeout: float | None = 5.0) -> bytes:
+        """``MW_Client_Recv``: take the next payload from the local buffer."""
+        return self.buffer.get(timeout=timeout)
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            self._listener.close()

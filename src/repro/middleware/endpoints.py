@@ -1,0 +1,61 @@
+"""Endpoint URLs.
+
+Every state estimator and data source in the architecture is uniquely
+identified by a URL (paper, section IV-A).  Two schemes are supported:
+
+- ``tcp://host:port`` — a real TCP socket endpoint;
+- ``inproc://name`` — an in-process queue endpoint (for tests and the
+  simulated fabric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Endpoint", "parse_endpoint"]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A parsed endpoint URL."""
+
+    scheme: str
+    host: str
+    port: int | None
+
+    @property
+    def url(self) -> str:
+        if self.scheme == "tcp":
+            return f"tcp://{self.host}:{self.port}"
+        return f"{self.scheme}://{self.host}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.url
+
+
+def parse_endpoint(url: str) -> Endpoint:
+    """Parse ``tcp://host:port`` or ``inproc://name``.
+
+    Raises ``ValueError`` for malformed URLs.
+    """
+    if "://" not in url:
+        raise ValueError(f"missing scheme in endpoint {url!r}")
+    scheme, rest = url.split("://", 1)
+    if scheme == "tcp":
+        if ":" not in rest:
+            raise ValueError(f"tcp endpoint needs host:port, got {url!r}")
+        host, port_s = rest.rsplit(":", 1)
+        if not host:
+            raise ValueError(f"empty host in {url!r}")
+        try:
+            port = int(port_s)
+        except ValueError as exc:
+            raise ValueError(f"bad port in {url!r}") from exc
+        if not 0 <= port < 65536:  # port 0 = "pick a free port" on bind
+            raise ValueError(f"port out of range in {url!r}")
+        return Endpoint(scheme="tcp", host=host, port=port)
+    if scheme == "inproc":
+        if not rest:
+            raise ValueError(f"empty inproc name in {url!r}")
+        return Endpoint(scheme="inproc", host=rest, port=None)
+    raise ValueError(f"unsupported scheme {scheme!r}")

@@ -1,0 +1,88 @@
+"""Wire framing and payload serialisation.
+
+Frames are length-prefixed: an 8-byte big-endian unsigned length followed by
+the payload (the EOF-protocol role of the paper's Figure 7 connector).
+Payload helpers pack the measurement-exchange records (bus ids + Vm/Va
+pairs) into flat ``numpy`` buffers, which is the fast path mpi4py-style
+communication expects.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import numpy as np
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME",
+    "send_frame",
+    "recv_frame",
+    "pack_state_update",
+    "unpack_state_update",
+]
+
+_LEN = struct.Struct(">Q")
+#: refuse frames above this size (sanity bound, 1 GiB)
+MAX_FRAME = 1 << 30
+
+
+class FrameError(RuntimeError):
+    """Raised on malformed frames or broken connections."""
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one length-prefixed frame."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame too large: {len(payload)}")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Receive one length-prefixed frame."""
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame too large: {length}")
+    return _recv_exact(sock, length)
+
+
+def pack_state_update(bus_ids: np.ndarray, Vm: np.ndarray, Va: np.ndarray) -> bytes:
+    """Pack a pseudo-measurement exchange record into a flat buffer."""
+    bus_ids = np.ascontiguousarray(bus_ids, dtype=np.int64)
+    Vm = np.ascontiguousarray(Vm, dtype=np.float64)
+    Va = np.ascontiguousarray(Va, dtype=np.float64)
+    if not (len(bus_ids) == len(Vm) == len(Va)):
+        raise ValueError("array length mismatch")
+    n = len(bus_ids)
+    return _LEN.pack(n) + bus_ids.tobytes() + Vm.tobytes() + Va.tobytes()
+
+
+def unpack_state_update(buf: bytes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_state_update`."""
+    if len(buf) < _LEN.size:
+        raise FrameError("short state-update buffer")
+    (n,) = _LEN.unpack(buf[: _LEN.size])
+    expect = _LEN.size + n * (8 + 8 + 8)
+    if len(buf) != expect:
+        raise FrameError(f"state-update length mismatch: {len(buf)} != {expect}")
+    off = _LEN.size
+    bus_ids = np.frombuffer(buf, dtype=np.int64, count=n, offset=off).copy()
+    off += 8 * n
+    Vm = np.frombuffer(buf, dtype=np.float64, count=n, offset=off).copy()
+    off += 8 * n
+    Va = np.frombuffer(buf, dtype=np.float64, count=n, offset=off).copy()
+    return bus_ids, Vm, Va

@@ -1,0 +1,166 @@
+"""MeDICi-style pipelines.
+
+A pipeline hosts components; each component has an inbound and an outbound
+endpoint and forwards (optionally transforming) every frame it receives —
+exactly the role of the MeDICi pipeline in the paper's Figure 7: the
+state-estimation code only names the destination; the pipeline does the
+store-and-forward routing.
+
+The implementation runs one acceptor thread per component and one handler
+thread per accepted connection; ``stop()`` tears everything down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from .endpoints import parse_endpoint
+from .message import FrameError
+from .transports import InprocTransport, transport_for
+
+__all__ = ["MifComponent", "MifPipeline"]
+
+
+class MifComponent:
+    """A relay component with inbound/outbound endpoints.
+
+    ``transform`` (payload -> payload) models the data processor of the
+    architecture's interface layer; the default is the identity relay.
+    """
+
+    def __init__(self, name: str = "component", transform: Callable | None = None):
+        self.name = name
+        self.transform = transform or (lambda payload: payload)
+        self.in_endpoint: str | None = None
+        self.out_endpoint: str | None = None
+        self.frames_relayed = 0
+        self.bytes_relayed = 0
+        # GridStat-style QoS telemetry: per-frame relay handling latency.
+        self._latencies: deque[float] = deque(maxlen=4096)
+
+    def latency_stats(self) -> dict[str, float]:
+        """Relay-latency percentiles in seconds (QoS monitoring hook).
+
+        Measures the in-middleware handling time per frame (receive →
+        transform → forward), the quantity a GridStat-like QoS manager
+        would track against its latency requirements.
+        """
+        if not self._latencies:
+            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        arr = sorted(self._latencies)
+        n = len(arr)
+        return {
+            "count": float(n),
+            "mean": sum(arr) / n,
+            "p50": arr[n // 2],
+            "p95": arr[min(n - 1, int(0.95 * n))],
+            "max": arr[-1],
+        }
+
+    def set_in_endpoint(self, url: str) -> None:
+        parse_endpoint(url)  # validate eagerly
+        self.in_endpoint = url
+
+    def set_out_endpoint(self, url: str) -> None:
+        parse_endpoint(url)
+        self.out_endpoint = url
+
+
+class MifPipeline:
+    """A pipeline of relay components.
+
+    Usage mirrors the paper's sample code::
+
+        pipeline = MifPipeline()
+        se = MifComponent("SE")
+        pipeline.add_mif_component(se)
+        se.set_in_endpoint("tcp://127.0.0.1:6789")
+        se.set_out_endpoint("tcp://127.0.0.1:7890")
+        pipeline.start()
+
+    ``inproc`` endpoints require passing a shared :class:`InprocTransport`.
+    """
+
+    def __init__(self, *, inproc: InprocTransport | None = None):
+        self.components: list[MifComponent] = []
+        self.inproc = inproc
+        self._threads: list[threading.Thread] = []
+        self._listeners = []
+        self._stop = threading.Event()
+        self.started = False
+
+    def add_mif_component(self, component: MifComponent) -> MifComponent:
+        if self.started:
+            raise RuntimeError("cannot add components to a running pipeline")
+        self.components.append(component)
+        return component
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind every component's inbound endpoint and start relaying."""
+        if self.started:
+            raise RuntimeError("pipeline already started")
+        for comp in self.components:
+            if not comp.in_endpoint or not comp.out_endpoint:
+                raise ValueError(f"component {comp.name} missing endpoints")
+            transport = transport_for(comp.in_endpoint, inproc=self.inproc)
+            listener = transport.listen(comp.in_endpoint)
+            # tcp://host:0 picks a free port; record the bound endpoint
+            comp.in_endpoint = listener.endpoint.url
+            self._listeners.append(listener)
+            thread = threading.Thread(
+                target=self._acceptor, args=(comp, listener),
+                name=f"mif-{comp.name}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self.started = True
+
+    def stop(self) -> None:
+        """Stop accepting and close listeners."""
+        self._stop.set()
+        for listener in self._listeners:
+            listener.close()
+        self.started = False
+
+    # ------------------------------------------------------------------
+    def _acceptor(self, comp: MifComponent, listener) -> None:
+        while not self._stop.is_set():
+            try:
+                conn = listener.accept(timeout=0.2)
+            except (TimeoutError, OSError):
+                continue
+            handler = threading.Thread(
+                target=self._relay, args=(comp, conn),
+                name=f"mif-{comp.name}-relay", daemon=True,
+            )
+            handler.start()
+            self._threads.append(handler)
+
+    def _relay(self, comp: MifComponent, conn) -> None:
+        transport = transport_for(comp.out_endpoint, inproc=self.inproc)
+        out = None
+        try:
+            out = transport.connect(comp.out_endpoint)
+            while not self._stop.is_set():
+                try:
+                    payload = conn.recv_bytes(timeout=0.2)
+                except TimeoutError:
+                    continue
+                except (FrameError, OSError):
+                    break
+                t0 = time.perf_counter()
+                payload = comp.transform(payload)
+                out.send_bytes(payload)
+                comp._latencies.append(time.perf_counter() - t0)
+                comp.frames_relayed += 1
+                comp.bytes_relayed += len(payload)
+        except (ConnectionRefusedError, OSError):  # pragma: no cover - races
+            pass
+        finally:
+            conn.close()
+            if out is not None:
+                out.close()

@@ -1,0 +1,119 @@
+"""Middleware fabric: pipelines wiring a set of estimators together.
+
+``MiddlewareFabric`` builds the MeDICi pipelines for a set of neighbour
+pairs: one one-way pipeline per direction (as in the paper, "each MeDICi
+pipeline is responsible for a one-way communication between two state
+estimators"), plus the per-site clients and the shared name registry.
+"""
+
+from __future__ import annotations
+
+from .client import EndpointRegistry, MWClient
+from .pipeline import MifComponent, MifPipeline
+from .transports import InprocTransport
+
+__all__ = ["MiddlewareFabric"]
+
+
+class MiddlewareFabric:
+    """Builds and owns the middleware plumbing for named estimators.
+
+    Parameters
+    ----------
+    names:
+        Estimator names (e.g. ``["se0", "se1", ...]``).
+    pairs:
+        Directed neighbour pairs to connect; ``None`` wires all ordered
+        pairs.
+    use_tcp:
+        Real localhost TCP when True; in-process queues otherwise.
+    """
+
+    def __init__(
+        self,
+        names: list[str],
+        pairs: list[tuple[str, str]] | None = None,
+        *,
+        use_tcp: bool = False,
+    ):
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate estimator names")
+        self.names = list(names)
+        self.registry = EndpointRegistry()
+        self.inproc = None if use_tcp else InprocTransport()
+        self.use_tcp = use_tcp
+        self.clients: dict[str, MWClient] = {}
+        self.pipelines: dict[tuple[str, str], MifPipeline] = {}
+        self.inbound: dict[tuple[str, str], str] = {}
+
+        if pairs is None:
+            pairs = [(a, b) for a in names for b in names if a != b]
+        self.pairs = list(pairs)
+        for a, b in self.pairs:
+            if a not in self.names or b not in self.names:
+                raise ValueError(f"pair ({a}, {b}) references unknown estimator")
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind every client endpoint and start every pipeline."""
+        if self._started:
+            raise RuntimeError("fabric already started")
+        for i, name in enumerate(self.names):
+            client = MWClient(name, self.registry, inproc=self.inproc)
+            if self.use_tcp:
+                client.serve("tcp://127.0.0.1:0")
+            else:
+                client.serve(f"inproc://site-{name}")
+            self.clients[name] = client
+
+        for a, b in self.pairs:
+            pipeline = MifPipeline(inproc=self.inproc)
+            comp = MifComponent(name=f"{a}->{b}")
+            pipeline.add_mif_component(comp)
+            if self.use_tcp:
+                comp.set_in_endpoint("tcp://127.0.0.1:0")
+            else:
+                comp.set_in_endpoint(f"inproc://pipe-{a}-{b}")
+            comp.set_out_endpoint(self.registry.resolve(b))
+            pipeline.start()
+            self.pipelines[(a, b)] = pipeline
+            self.inbound[(a, b)] = comp.in_endpoint
+        self._started = True
+
+    def stop(self) -> None:
+        for pipeline in self.pipelines.values():
+            pipeline.stop()
+        for client in self.clients.values():
+            client.close()
+        self._started = False
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: bytes) -> None:
+        """Send through the (src → dst) pipeline — the architecture's data
+        path (estimator → pipeline inbound → relay → destination buffer)."""
+        try:
+            inbound = self.inbound[(src, dst)]
+        except KeyError as exc:
+            raise KeyError(f"no pipeline for {src} -> {dst}") from exc
+        self.clients[src].send(inbound, payload)
+
+    def recv(self, name: str, *, timeout: float = 5.0) -> bytes:
+        """Take the next payload delivered to estimator ``name``."""
+        return self.clients[name].recv(timeout=timeout)
+
+    def relay_stats(self) -> dict[tuple[str, str], tuple[int, int]]:
+        """(frames, bytes) relayed per pipeline."""
+        out = {}
+        for key, pipeline in self.pipelines.items():
+            comp = pipeline.components[0]
+            out[key] = (comp.frames_relayed, comp.bytes_relayed)
+        return out

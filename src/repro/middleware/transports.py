@@ -1,0 +1,210 @@
+"""Transports: real TCP sockets and an in-process queue fabric.
+
+Both expose the same tiny interface:
+
+- ``listen(endpoint) -> Listener`` with ``accept() -> Connection``;
+- ``connect(endpoint) -> Connection`` with ``send_bytes`` / ``recv_bytes`` /
+  ``close``.
+
+``TcpTransport`` carries real frames over localhost sockets (used by the
+middleware-overhead experiments); ``InprocTransport`` is a zero-dependency
+stand-in for unit tests and single-process demos.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+
+from .endpoints import Endpoint, parse_endpoint
+from .message import recv_frame, send_frame
+
+__all__ = [
+    "Connection",
+    "Listener",
+    "TcpTransport",
+    "InprocTransport",
+    "transport_for",
+]
+
+
+class Connection:
+    """Abstract duplex framed connection."""
+
+    def send_bytes(self, payload: bytes) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def recv_bytes(self, timeout: float | None = None) -> bytes:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class Listener:
+    """Abstract listener."""
+
+    def accept(self, timeout: float | None = None) -> Connection:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# TCP
+# ----------------------------------------------------------------------
+class _TcpConnection(Connection):
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def send_bytes(self, payload: bytes) -> None:
+        send_frame(self._sock, payload)
+
+    def recv_bytes(self, timeout: float | None = None) -> bytes:
+        self._sock.settimeout(timeout)
+        return recv_frame(self._sock)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class _TcpListener(Listener):
+    def __init__(self, endpoint: Endpoint):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((endpoint.host, endpoint.port or 0))
+        self._sock.listen(16)
+        host, port = self._sock.getsockname()
+        self.endpoint = Endpoint(scheme="tcp", host=host, port=port)
+
+    def accept(self, timeout: float | None = None) -> Connection:
+        self._sock.settimeout(timeout)
+        conn, _ = self._sock.accept()
+        return _TcpConnection(conn)
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class TcpTransport:
+    """Real TCP transport.  ``listen`` with port 0 picks a free port; the
+    resulting listener exposes its bound endpoint."""
+
+    def listen(self, endpoint: Endpoint | str) -> _TcpListener:
+        ep = parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
+        if ep.scheme != "tcp":
+            raise ValueError(f"TcpTransport cannot listen on {ep.url}")
+        return _TcpListener(ep)
+
+    def connect(self, endpoint: Endpoint | str, *, timeout: float = 5.0) -> Connection:
+        ep = parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
+        if ep.scheme != "tcp":
+            raise ValueError(f"TcpTransport cannot connect to {ep.url}")
+        sock = socket.create_connection((ep.host, ep.port), timeout=timeout)
+        sock.settimeout(None)
+        return _TcpConnection(sock)
+
+
+# ----------------------------------------------------------------------
+# In-process
+# ----------------------------------------------------------------------
+class _InprocConnection(Connection):
+    def __init__(self, out_q: "queue.Queue[bytes]", in_q: "queue.Queue[bytes]"):
+        self._out = out_q
+        self._in = in_q
+        self._closed = False
+
+    def send_bytes(self, payload: bytes) -> None:
+        if self._closed:
+            raise RuntimeError("connection closed")
+        self._out.put(payload)
+
+    def recv_bytes(self, timeout: float | None = None) -> bytes:
+        try:
+            return self._in.get(timeout=timeout)
+        except queue.Empty as exc:
+            raise TimeoutError("recv timed out") from exc
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class _InprocListener(Listener):
+    def __init__(self, transport: "InprocTransport", name: str):
+        self.transport = transport
+        self.name = name
+        self._pending: "queue.Queue[_InprocConnection]" = queue.Queue()
+        self.endpoint = Endpoint(scheme="inproc", host=name, port=None)
+
+    def accept(self, timeout: float | None = None) -> Connection:
+        try:
+            return self._pending.get(timeout=timeout)
+        except queue.Empty as exc:
+            raise TimeoutError("accept timed out") from exc
+
+    def close(self) -> None:
+        self.transport._listeners.pop(self.name, None)
+
+
+class InprocTransport:
+    """Queue-based transport shared within one process (thread-safe)."""
+
+    def __init__(self):
+        self._listeners: dict[str, _InprocListener] = {}
+        self._lock = threading.Lock()
+
+    def listen(self, endpoint: Endpoint | str) -> _InprocListener:
+        ep = parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
+        if ep.scheme != "inproc":
+            raise ValueError(f"InprocTransport cannot listen on {ep.url}")
+        with self._lock:
+            if ep.host in self._listeners:
+                raise ValueError(f"endpoint {ep.url} already bound")
+            listener = _InprocListener(self, ep.host)
+            self._listeners[ep.host] = listener
+        return listener
+
+    def connect(self, endpoint: Endpoint | str, *, timeout: float = 5.0) -> Connection:
+        ep = parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
+        if ep.scheme != "inproc":
+            raise ValueError(f"InprocTransport cannot connect to {ep.url}")
+        with self._lock:
+            listener = self._listeners.get(ep.host)
+        if listener is None:
+            raise ConnectionRefusedError(f"no listener at {ep.url}")
+        a_to_b: "queue.Queue[bytes]" = queue.Queue()
+        b_to_a: "queue.Queue[bytes]" = queue.Queue()
+        client = _InprocConnection(a_to_b, b_to_a)
+        server = _InprocConnection(b_to_a, a_to_b)
+        listener._pending.put(server)
+        return client
+
+
+def transport_for(endpoint: Endpoint | str, *, inproc: InprocTransport | None = None):
+    """Pick the right transport for an endpoint URL."""
+    ep = parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
+    if ep.scheme == "tcp":
+        return TcpTransport()
+    if ep.scheme == "inproc":
+        if inproc is None:
+            raise ValueError("inproc endpoint needs a shared InprocTransport")
+        return inproc
+    raise ValueError(f"unsupported scheme {ep.scheme!r}")  # pragma: no cover

@@ -1,0 +1,27 @@
+"""Multilevel k-way weighted graph partitioner (METIS stand-in)."""
+
+from .coarsen import CoarseLevel, coarsen, heavy_edge_matching
+from .graph import WeightedGraph
+from .initial import greedy_growing, initial_partition
+from .kway import PartitionResult, partition_kway
+from .metrics import edge_cut, load_imbalance, migration_volume, part_weights
+from .refine import rebalance, refine_partition
+from .repartition import repartition
+
+__all__ = [
+    "WeightedGraph",
+    "PartitionResult",
+    "partition_kway",
+    "repartition",
+    "edge_cut",
+    "load_imbalance",
+    "migration_volume",
+    "part_weights",
+    "coarsen",
+    "heavy_edge_matching",
+    "CoarseLevel",
+    "initial_partition",
+    "greedy_growing",
+    "refine_partition",
+    "rebalance",
+]

@@ -1,0 +1,85 @@
+"""Graph coarsening by heavy-edge matching (the METIS scheme).
+
+Each coarsening level matches vertices with their heaviest unmatched
+neighbour; matched pairs collapse into one coarse vertex with summed vertex
+weight, and parallel coarse edges merge with summed weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import WeightedGraph
+
+__all__ = ["CoarseLevel", "heavy_edge_matching", "coarsen"]
+
+
+@dataclass
+class CoarseLevel:
+    """One level of the coarsening hierarchy.
+
+    ``cmap[v]`` is the coarse vertex that fine vertex ``v`` collapsed into.
+    """
+
+    fine: WeightedGraph
+    coarse: WeightedGraph
+    cmap: np.ndarray
+
+
+def heavy_edge_matching(
+    graph: WeightedGraph, rng: np.random.Generator
+) -> np.ndarray:
+    """Heavy-edge matching: ``match[v]`` = partner of v (or v itself).
+
+    Vertices are visited in random order; each unmatched vertex matches its
+    heaviest unmatched neighbour (ties broken by first occurrence).
+    """
+    n = graph.n_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for v in order:
+        if match[v] != -1:
+            continue
+        nbrs = graph.neighbors(v)
+        wts = graph.edge_weights(v)
+        best, best_w = v, -1
+        for u, w in zip(nbrs, wts):
+            if match[u] == -1 and u != v and w > best_w:
+                best, best_w = int(u), int(w)
+        match[v] = best
+        match[best] = v if best != v else best
+    return match
+
+
+def coarsen(graph: WeightedGraph, rng: np.random.Generator) -> CoarseLevel:
+    """Collapse one level using heavy-edge matching."""
+    n = graph.n_vertices
+    match = heavy_edge_matching(graph, rng)
+
+    cmap = np.full(n, -1, dtype=np.int64)
+    nxt = 0
+    for v in range(n):
+        if cmap[v] != -1:
+            continue
+        cmap[v] = nxt
+        u = match[v]
+        if u != v:
+            cmap[u] = nxt
+        nxt += 1
+
+    cvwgt = np.zeros(nxt, dtype=np.int64)
+    np.add.at(cvwgt, cmap, graph.vwgt)
+
+    pairs, w = graph.edge_list()
+    if len(pairs):
+        cu, cv = cmap[pairs[:, 0]], cmap[pairs[:, 1]]
+        keep = cu != cv  # intra-pair edges vanish
+        cedges = np.column_stack([cu[keep], cv[keep]])
+        cw = w[keep]
+    else:
+        cedges = np.zeros((0, 2), dtype=np.int64)
+        cw = np.zeros(0, dtype=np.int64)
+    coarse = WeightedGraph.from_edges(nxt, cedges, vwgt=cvwgt, ewgt=cw)
+    return CoarseLevel(fine=graph, coarse=coarse, cmap=cmap)

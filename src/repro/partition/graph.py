@@ -1,0 +1,168 @@
+"""Weighted undirected graph in CSR adjacency form.
+
+The partitioner's working representation, mirroring METIS' input format:
+``xadj``/``adjncy`` CSR adjacency, integer vertex weights ``vwgt`` and edge
+weights ``adjwgt`` (stored per directed arc; symmetric).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WeightedGraph"]
+
+
+class WeightedGraph:
+    """An undirected vertex- and edge-weighted graph (CSR adjacency).
+
+    Build with :meth:`from_edges`; the raw constructor expects consistent
+    CSR arrays.  Weights default to 1.  Parallel edges are merged by summing
+    their weights; self-loops are rejected.
+    """
+
+    def __init__(
+        self,
+        xadj: np.ndarray,
+        adjncy: np.ndarray,
+        vwgt: np.ndarray,
+        adjwgt: np.ndarray,
+    ):
+        self.xadj = np.asarray(xadj, dtype=np.int64)
+        self.adjncy = np.asarray(adjncy, dtype=np.int64)
+        self.vwgt = np.asarray(vwgt, dtype=np.int64)
+        self.adjwgt = np.asarray(adjwgt, dtype=np.int64)
+        if len(self.xadj) != self.n_vertices + 1:
+            raise ValueError("xadj length inconsistent with vwgt")
+        if len(self.adjncy) != len(self.adjwgt):
+            raise ValueError("adjncy / adjwgt length mismatch")
+        if np.any(self.vwgt < 0) or np.any(self.adjwgt < 0):
+            raise ValueError("negative weights not allowed")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges,
+        *,
+        vwgt: np.ndarray | None = None,
+        ewgt: np.ndarray | None = None,
+    ) -> "WeightedGraph":
+        """Build from an edge list ``[(u, v), ...]`` with optional weights.
+
+        Duplicate (u, v) pairs (in either orientation) are merged by summing
+        weights.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if len(edges) == 0:
+            vw = np.ones(n, np.int64) if vwgt is None else np.asarray(vwgt, np.int64)
+            xadj = np.zeros(n + 1, dtype=np.int64)
+            return cls(xadj, np.zeros(0, np.int64), vw, np.zeros(0, np.int64))
+        if ewgt is None:
+            ewgt = np.ones(len(edges), dtype=np.int64)
+        else:
+            ewgt = np.asarray(ewgt, dtype=np.int64)
+            if len(ewgt) != len(edges):
+                raise ValueError("ewgt length mismatch")
+        if vwgt is None:
+            vwgt = np.ones(n, dtype=np.int64)
+        else:
+            vwgt = np.asarray(vwgt, dtype=np.int64)
+            if len(vwgt) != n:
+                raise ValueError("vwgt length mismatch")
+        if len(edges) and (edges.min() < 0 or edges.max() >= n):
+            raise ValueError("edge endpoint out of range")
+        if np.any(edges[:, 0] == edges[:, 1]):
+            raise ValueError("self-loops not allowed")
+
+        # Merge duplicates on canonical orientation.
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        key = lo * n + hi
+        order = np.argsort(key, kind="stable")
+        key_s, w_s = key[order], ewgt[order]
+        starts = np.flatnonzero(np.r_[True, key_s[1:] != key_s[:-1]])
+        merged_key = key_s[starts]
+        merged_w = np.add.reduceat(w_s, starts) if len(w_s) else np.array([], np.int64)
+        mu, mv = merged_key // n, merged_key % n
+
+        # CSR from both arc directions.
+        src = np.concatenate([mu, mv])
+        dst = np.concatenate([mv, mu])
+        w2 = np.concatenate([merged_w, merged_w])
+        order = np.argsort(src, kind="stable")
+        src, dst, w2 = src[order], dst[order], w2[order]
+        xadj = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(xadj, src + 1, 1)
+        np.cumsum(xadj, out=xadj)
+        return cls(xadj, dst, vwgt, w2)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vwgt)
+
+    @property
+    def n_edges(self) -> int:
+        """Undirected edge count."""
+        return len(self.adjncy) // 2
+
+    @property
+    def total_vwgt(self) -> int:
+        return int(self.vwgt.sum())
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbour vertex indices of ``v``."""
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        """Weights of the arcs leaving ``v`` (aligned with :meth:`neighbors`)."""
+        return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unique undirected edges as ``(pairs (m,2), weights (m,))``."""
+        src = np.repeat(np.arange(self.n_vertices), np.diff(self.xadj))
+        mask = src < self.adjncy
+        pairs = np.column_stack([src[mask], self.adjncy[mask]])
+        return pairs, self.adjwgt[mask].copy()
+
+    def is_connected(self) -> bool:
+        """BFS connectivity check."""
+        n = self.n_vertices
+        if n == 0:
+            return True
+        seen = np.zeros(n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            v = stack.pop()
+            for w in self.neighbors(v):
+                if not seen[w]:
+                    seen[w] = True
+                    count += 1
+                    stack.append(int(w))
+        return count == n
+
+    def with_weights(
+        self,
+        *,
+        vwgt: np.ndarray | None = None,
+        ewgt_map=None,
+    ) -> "WeightedGraph":
+        """A copy with replaced vertex weights and/or edge weights.
+
+        ``ewgt_map`` is a callable ``(u, v) -> weight`` applied to each
+        unique edge (u < v).
+        """
+        pairs, w = self.edge_list()
+        if ewgt_map is not None:
+            w = np.array([ewgt_map(int(u), int(v)) for u, v in pairs], dtype=np.int64)
+        new_vwgt = self.vwgt.copy() if vwgt is None else np.asarray(vwgt, np.int64)
+        return WeightedGraph.from_edges(self.n_vertices, pairs, vwgt=new_vwgt, ewgt=w)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WeightedGraph(n={self.n_vertices}, m={self.n_edges})"

@@ -1,0 +1,94 @@
+"""Initial partitioning of the coarsest graph.
+
+Greedy graph growing: grow each partition by BFS from a random seed vertex,
+absorbing the lightest-connected frontier until the target weight is
+reached.  Leftover vertices go to the lightest partition.  Several random
+restarts keep the one with the smallest edge-cut.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import WeightedGraph
+from .metrics import edge_cut
+
+__all__ = ["greedy_growing", "initial_partition"]
+
+
+def greedy_growing(
+    graph: WeightedGraph, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One greedy-growing pass; returns a partition vector."""
+    n = graph.n_vertices
+    part = np.full(n, -1, dtype=np.int64)
+    target = graph.total_vwgt / k
+    unassigned = set(range(n))
+
+    for p in range(k - 1):
+        if not unassigned:
+            break
+        seed = int(rng.choice(sorted(unassigned)))
+        frontier = {seed}
+        weight = 0
+        while frontier and weight < target:
+            # absorb the frontier vertex with the strongest connection to p
+            best, best_gain = None, -1
+            for v in frontier:
+                gain = sum(
+                    int(w)
+                    for u, w in zip(graph.neighbors(v), graph.edge_weights(v))
+                    if part[u] == p
+                )
+                if gain > best_gain:
+                    best, best_gain = v, gain
+            v = best
+            frontier.discard(v)
+            part[v] = p
+            weight += int(graph.vwgt[v])
+            unassigned.discard(v)
+            for u in graph.neighbors(v):
+                if part[u] == -1:
+                    frontier.add(int(u))
+
+    # Everything left goes to the last partition, then spread to lightest if
+    # the last one ends up oversized relative to empties.
+    for v in unassigned:
+        part[v] = k - 1
+    # Guard: ensure no partition is empty (move lightest vertices in).
+    for p in range(k):
+        if not np.any(part == p):
+            weights = np.zeros(k, dtype=np.int64)
+            np.add.at(weights, part, graph.vwgt)
+            donor = int(np.argmax(weights))
+            candidates = np.flatnonzero(part == donor)
+            v = candidates[np.argmin(graph.vwgt[candidates])]
+            part[v] = p
+    return part
+
+
+def initial_partition(
+    graph: WeightedGraph,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    restarts: int = 8,
+) -> np.ndarray:
+    """Best of several greedy-growing restarts (by edge-cut)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        return np.zeros(graph.n_vertices, dtype=np.int64)
+    if k >= graph.n_vertices:
+        # One vertex per part, extras to part 0.
+        part = np.zeros(graph.n_vertices, dtype=np.int64)
+        part[: graph.n_vertices] = np.arange(graph.n_vertices) % k
+        return part
+
+    best, best_cut = None, None
+    for _ in range(restarts):
+        cand = greedy_growing(graph, k, rng)
+        cut = edge_cut(graph, cand)
+        if best_cut is None or cut < best_cut:
+            best, best_cut = cand, cut
+    return best

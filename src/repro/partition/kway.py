@@ -1,0 +1,102 @@
+"""Multilevel k-way partitioning driver (the METIS stand-in).
+
+coarsen (heavy-edge matching) → initial partition (greedy growing) →
+uncoarsen with boundary refinement at every level.  The public entry point
+:func:`partition_kway` matches the role METIS plays in the paper: given the
+power-system decomposition graph with computation/communication weights,
+produce a small-edge-cut, balanced assignment of subsystems to clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .coarsen import CoarseLevel, coarsen
+from .graph import WeightedGraph
+from .initial import initial_partition
+from .metrics import edge_cut, load_imbalance
+from .refine import rebalance, refine_partition
+
+__all__ = ["PartitionResult", "partition_kway"]
+
+
+@dataclass
+class PartitionResult:
+    """A k-way partition and its quality metrics."""
+
+    part: np.ndarray
+    k: int
+    edge_cut: int
+    imbalance: float
+
+    def parts(self) -> list[np.ndarray]:
+        """Vertex indices per partition."""
+        return [np.flatnonzero(self.part == p) for p in range(self.k)]
+
+
+def partition_kway(
+    graph: WeightedGraph,
+    k: int,
+    *,
+    tol: float = 1.05,
+    seed: int = 0,
+    coarsen_to: int | None = None,
+    refine_passes: int = 8,
+) -> PartitionResult:
+    """Partition ``graph`` into ``k`` balanced parts minimising edge-cut.
+
+    Parameters
+    ----------
+    graph:
+        The weighted graph (e.g. the power-system decomposition graph).
+    k:
+        Number of partitions (HPC clusters).
+    tol:
+        Balance tolerance; METIS' suggested default is 1.05.
+    seed:
+        Seed for all randomised phases (matching, seeds, visit order).
+    coarsen_to:
+        Stop coarsening when the graph is at most this many vertices
+        (default ``max(20, 4k)``).
+    refine_passes:
+        Refinement passes per uncoarsening level.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if graph.n_vertices == 0:
+        return PartitionResult(np.zeros(0, np.int64), k, 0, 1.0)
+    rng = np.random.default_rng(seed)
+    if coarsen_to is None:
+        coarsen_to = max(20, 4 * k)
+
+    # Coarsening phase.
+    levels: list[CoarseLevel] = []
+    g = graph
+    while g.n_vertices > coarsen_to:
+        level = coarsen(g, rng)
+        if level.coarse.n_vertices >= g.n_vertices:  # no progress
+            break
+        levels.append(level)
+        g = level.coarse
+
+    # Initial partition at the coarsest level.
+    part = initial_partition(g, k, rng)
+    part = refine_partition(g, part, k, tol=tol, max_passes=refine_passes, rng=rng)
+
+    # Uncoarsening with refinement.
+    for level in reversed(levels):
+        part = part[level.cmap]
+        part = refine_partition(
+            level.fine, part, k, tol=tol, max_passes=refine_passes, rng=rng
+        )
+
+    part = rebalance(graph, part, k, tol=tol, rng=rng)
+    part = refine_partition(graph, part, k, tol=tol, max_passes=refine_passes, rng=rng)
+    return PartitionResult(
+        part=part,
+        k=k,
+        edge_cut=edge_cut(graph, part),
+        imbalance=load_imbalance(graph, part, k),
+    )

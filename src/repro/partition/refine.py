@@ -1,0 +1,144 @@
+"""Greedy boundary refinement (k-way Fiduccia-Mattheyses flavour).
+
+Moves boundary vertices between partitions when the move reduces the
+edge-cut (or keeps it equal while improving balance), subject to the METIS
+balance constraint ``max part weight <= tol * ideal``.  An optional anchor
+partition with a migration factor makes the same machinery serve adaptive
+repartitioning: moves back toward the anchor earn a bonus, moves away pay a
+penalty, so the refiner trades edge-cut against data-redistribution volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import WeightedGraph
+from .metrics import part_weights
+
+__all__ = ["refine_partition", "rebalance"]
+
+
+def _conn_weights(graph: WeightedGraph, part: np.ndarray, v: int, k: int) -> np.ndarray:
+    """Edge weight from ``v`` into each partition."""
+    conn = np.zeros(k, dtype=np.int64)
+    nbrs = graph.neighbors(v)
+    np.add.at(conn, part[nbrs], graph.edge_weights(v))
+    return conn
+
+
+def refine_partition(
+    graph: WeightedGraph,
+    part: np.ndarray,
+    k: int,
+    *,
+    tol: float = 1.05,
+    max_passes: int = 8,
+    rng: np.random.Generator | None = None,
+    anchor: np.ndarray | None = None,
+    migration_factor: float = 0.0,
+) -> np.ndarray:
+    """Refine ``part`` in place-sh (returns a new array).
+
+    Parameters
+    ----------
+    tol:
+        Balance tolerance (1.05 = parts may exceed ideal weight by 5%).
+    anchor, migration_factor:
+        When given, a move that lands vertex ``v`` on ``anchor[v]`` earns
+        ``migration_factor * vwgt[v]`` of extra gain and a move off its
+        anchor pays the same penalty (adaptive repartitioning).
+    """
+    rng = rng or np.random.default_rng(0)
+    part = part.astype(np.int64).copy()
+    n = graph.n_vertices
+    weights = part_weights(graph, part, k)
+    limit = tol * graph.total_vwgt / k
+
+    for _ in range(max_passes):
+        moved = 0
+        for v in rng.permutation(n):
+            home = part[v]
+            conn = _conn_weights(graph, part, v, k)
+            internal = conn[home]
+            # candidate targets: partitions this vertex touches
+            targets = np.flatnonzero(conn)
+            best_p, best_gain = -1, 0.0
+            for p in targets:
+                if p == home:
+                    continue
+                if weights[p] + graph.vwgt[v] > limit:
+                    continue
+                gain = float(conn[p] - internal)
+                if anchor is not None and migration_factor:
+                    if p == anchor[v]:
+                        gain += migration_factor * graph.vwgt[v]
+                    if home == anchor[v]:
+                        gain -= migration_factor * graph.vwgt[v]
+                # tie-break on balance improvement
+                better = gain > best_gain or (
+                    gain == best_gain
+                    and best_p != -1
+                    and weights[p] < weights[best_p]
+                )
+                if gain > 0 and (best_p == -1 or better):
+                    best_p, best_gain = int(p), gain
+            if best_p >= 0:
+                weights[home] -= graph.vwgt[v]
+                weights[best_p] += graph.vwgt[v]
+                part[v] = best_p
+                moved += 1
+        if not moved:
+            break
+    return part
+
+
+def rebalance(
+    graph: WeightedGraph,
+    part: np.ndarray,
+    k: int,
+    *,
+    tol: float = 1.05,
+    rng: np.random.Generator | None = None,
+    max_moves: int | None = None,
+) -> np.ndarray:
+    """Push overweight partitions under the balance limit.
+
+    Repeatedly moves the boundary vertex with the least edge-cut damage out
+    of the heaviest over-limit partition into the lightest partition that
+    can take it.  Used when weight updates (new time frame) leave the old
+    mapping unbalanced.
+    """
+    rng = rng or np.random.default_rng(0)
+    part = part.astype(np.int64).copy()
+    n = graph.n_vertices
+    weights = part_weights(graph, part, k)
+    limit = tol * graph.total_vwgt / k
+    if max_moves is None:
+        max_moves = 4 * n
+
+    for _ in range(max_moves):
+        over = np.flatnonzero(weights > limit)
+        if not over.size:
+            break
+        donor = int(over[np.argmax(weights[over])])
+        members = np.flatnonzero(part == donor)
+        best = None  # (loss, v, target)
+        for v in members:
+            conn = _conn_weights(graph, part, v, k)
+            for p in np.argsort(weights):
+                p = int(p)
+                if p == donor:
+                    continue
+                if weights[p] + graph.vwgt[v] > limit:
+                    continue
+                loss = float(conn[donor] - conn[p])
+                if best is None or loss < best[0]:
+                    best = (loss, int(v), p)
+                break  # only consider the lightest feasible target
+        if best is None:
+            break  # cannot legally move anything; give up
+        _, v, p = best
+        weights[donor] -= graph.vwgt[v]
+        weights[p] += graph.vwgt[v]
+        part[v] = p
+    return part

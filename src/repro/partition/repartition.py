@@ -1,0 +1,79 @@
+"""Adaptive repartitioning (METIS' repartitioning routine stand-in).
+
+The paper's mapping method re-invokes the partitioner whenever the graph
+weights change — before DSE Step 1 (new noise estimate → new vertex
+weights) and before DSE Step 2 (communication weights become relevant).
+Starting from the previous assignment and penalising migration keeps the
+new mapping close to the old one, bounding the data-redistribution cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import WeightedGraph
+from .kway import PartitionResult, partition_kway
+from .metrics import edge_cut, load_imbalance, migration_volume
+from .refine import rebalance, refine_partition
+
+__all__ = ["repartition"]
+
+
+def repartition(
+    graph: WeightedGraph,
+    k: int,
+    old_part: np.ndarray,
+    *,
+    tol: float = 1.05,
+    migration_factor: float = 0.5,
+    seed: int = 0,
+    refine_passes: int = 8,
+    scratch_fallback: bool = True,
+) -> PartitionResult:
+    """Repartition starting from ``old_part`` with updated weights.
+
+    Parameters
+    ----------
+    migration_factor:
+        Vertex-weight units of edge-cut a migration is worth: higher values
+        glue vertices to their previous cluster, lower values chase pure
+        edge-cut quality.
+    scratch_fallback:
+        Also run a from-scratch partition and keep it when its edge-cut is
+        better even after charging migrated weight at ``migration_factor``.
+    """
+    if len(old_part) != graph.n_vertices:
+        raise ValueError("old_part length mismatch")
+    if old_part.size and (old_part.min() < 0 or old_part.max() >= k):
+        raise ValueError("old_part labels out of range")
+    rng = np.random.default_rng(seed)
+
+    part = rebalance(graph, old_part, k, tol=tol, rng=rng)
+    part = refine_partition(
+        graph,
+        part,
+        k,
+        tol=tol,
+        max_passes=refine_passes,
+        rng=rng,
+        anchor=old_part,
+        migration_factor=migration_factor,
+    )
+    result = PartitionResult(
+        part=part,
+        k=k,
+        edge_cut=edge_cut(graph, part),
+        imbalance=load_imbalance(graph, part, k),
+    )
+
+    if scratch_fallback:
+        scratch = partition_kway(graph, k, tol=tol, seed=seed)
+        cost_adapt = result.edge_cut + migration_factor * migration_volume(
+            graph, old_part, result.part
+        )
+        cost_scratch = scratch.edge_cut + migration_factor * migration_volume(
+            graph, old_part, scratch.part
+        )
+        if cost_scratch < cost_adapt:
+            return scratch
+    return result

@@ -1,0 +1,112 @@
+"""Report rendering: aligned text tables and CSV export for session results.
+
+Keeps presentation out of the core classes: anything with ``reports`` (a
+:class:`~repro.core.session.DseSession`) or a list of
+:class:`~repro.core.telemetry.FrameReport` renders through these helpers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "format_table",
+    "frame_table",
+    "session_summary",
+    "write_frames_csv",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render an aligned text table.
+
+    Numbers are formatted with ``float_fmt``; everything else with
+    ``str``.  Columns are right-aligned to the widest cell.
+    """
+    def cell(x) -> str:
+        if isinstance(x, bool):
+            return str(x)
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    body = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells):
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), "-+-".join("-" * w for w in widths)]
+    out.extend(line(row) for row in body)
+    return "\n".join(out)
+
+
+_FRAME_HEADERS = (
+    "t", "noise x", "Ni", "imb1", "imb2", "migrated",
+    "rounds", "bytes", "sim total (ms)", "wall (ms)", "Vm RMSE",
+)
+
+
+def _frame_row(rep) -> list:
+    return [
+        rep.t,
+        rep.noise_level,
+        rep.expected_iterations,
+        rep.imbalance_step1,
+        rep.imbalance_step2,
+        rep.migrated_weight,
+        rep.rounds,
+        rep.bytes_exchanged,
+        rep.timings.total * 1e3,
+        rep.wall_time * 1e3,
+        rep.vm_rmse_vs_truth if rep.vm_rmse_vs_truth is not None else "-",
+    ]
+
+
+def frame_table(reports: Sequence) -> str:
+    """Per-frame summary table for a list of :class:`FrameReport`."""
+    return format_table(_FRAME_HEADERS, [_frame_row(r) for r in reports])
+
+
+def session_summary(reports: Sequence) -> dict:
+    """Aggregate statistics over a session's frames."""
+    if not reports:
+        raise ValueError("no frames to summarise")
+    n = len(reports)
+    tot = [r.timings.total for r in reports]
+    return {
+        "frames": n,
+        "mean_noise_level": sum(r.noise_level for r in reports) / n,
+        "mean_sim_total": sum(tot) / n,
+        "max_sim_total": max(tot),
+        "mean_imbalance_step1": sum(r.imbalance_step1 for r in reports) / n,
+        "total_bytes": sum(r.bytes_exchanged for r in reports),
+        "total_migrated_weight": sum(r.migrated_weight for r in reports),
+    }
+
+
+def write_frames_csv(reports: Sequence, path: str | Path | io.TextIOBase) -> None:
+    """Write the per-frame table as CSV (path or open text stream)."""
+    rows = [_frame_row(r) for r in reports]
+    if isinstance(path, io.TextIOBase):
+        writer = csv.writer(path)
+        writer.writerow(_FRAME_HEADERS)
+        writer.writerows(rows)
+        return
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_FRAME_HEADERS)
+        writer.writerows(rows)

@@ -1,0 +1,14 @@
+"""Command-line tools.
+
+- ``python -m repro.tools.estimate`` — one-shot state estimation on a case.
+- ``python -m repro.tools.decompose`` — decomposition + cluster-mapping report.
+- ``python -m repro.tools.run_session`` — multi-frame DSE session on the
+  architecture prototype.
+
+All tools share the ``--case`` option: ``case4``, ``case14``, ``case118``
+or ``synthetic:<areas>x<buses>[:seed]``.
+"""
+
+from .common import load_case
+
+__all__ = ["load_case"]

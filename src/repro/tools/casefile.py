@@ -1,0 +1,73 @@
+"""CLI: inspect and convert MATPOWER case files.
+
+Examples::
+
+    python -m repro.tools.casefile --case case118 --info
+    python -m repro.tools.casefile --case case14 --out /tmp/case14.m
+    python -m repro.tools.casefile --in /tmp/case14.m --info --solve
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..grid import (
+    PowerFlowError,
+    is_single_island,
+    load_matpower,
+    run_ac_power_flow,
+    save_matpower,
+)
+from .common import CASE_CHOICES, load_case
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.tools.casefile",
+        description="Inspect, validate and convert power system case data.",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--case", help=f"bundled/synthetic case ({CASE_CHOICES})")
+    src.add_argument("--in", dest="infile", help="MATPOWER .m file to load")
+    p.add_argument("--info", action="store_true", help="print a case summary")
+    p.add_argument("--solve", action="store_true", help="run the AC power flow")
+    p.add_argument("--out", help="write the case as a MATPOWER .m file")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    net = load_case(args.case) if args.case else load_matpower(args.infile)
+
+    if args.info or not (args.solve or args.out):
+        areas = np.unique(net.area)
+        print(f"{net.name}: {net.n_bus} buses, {net.n_branch} branches "
+              f"({int(net.br_status.sum())} in service), {net.n_gen} "
+              f"generators, {len(areas)} area(s)")
+        print(f"total load: {net.Pd.sum() * net.base_mva:.1f} MW / "
+              f"{net.Qd.sum() * net.base_mva:.1f} MVAr; "
+              f"single island: {is_single_island(net)}")
+
+    if args.solve:
+        try:
+            pf = run_ac_power_flow(net, flat_start=True)
+        except PowerFlowError as exc:
+            print(f"power flow FAILED: {exc}")
+            return 1
+        print(f"power flow converged in {pf.iterations} iterations; "
+              f"Vm in [{pf.Vm.min():.4f}, {pf.Vm.max():.4f}] p.u.; "
+              f"losses {(pf.Pf + pf.Pt).sum() * net.base_mva:.2f} MW")
+
+    if args.out:
+        save_matpower(net, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

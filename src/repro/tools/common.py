@@ -1,0 +1,35 @@
+"""Shared helpers for the CLI tools."""
+
+from __future__ import annotations
+
+from ..grid.cases import case4, case14, case118, synthetic_grid
+from ..grid.network import Network
+
+__all__ = ["load_case", "CASE_CHOICES"]
+
+CASE_CHOICES = "case4 | case14 | case118 | synthetic:<areas>x<buses>[:seed]"
+
+_BUILTIN = {"case4": case4, "case14": case14, "case118": case118}
+
+
+def load_case(spec: str) -> Network:
+    """Resolve a ``--case`` specification to a network.
+
+    ``case4`` / ``case14`` / ``case118`` load the bundled systems;
+    ``synthetic:9x13`` or ``synthetic:37x40:7`` builds a synthetic grid
+    with the given area count, buses per area and optional seed.
+    """
+    if spec in _BUILTIN:
+        return _BUILTIN[spec]()
+    if spec.startswith("synthetic:"):
+        body = spec.split(":", 1)[1]
+        parts = body.split(":")
+        try:
+            areas_s, buses_s = parts[0].split("x")
+            seed = int(parts[1]) if len(parts) > 1 else 0
+            return synthetic_grid(
+                n_areas=int(areas_s), buses_per_area=int(buses_s), seed=seed
+            )
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"bad synthetic case spec {spec!r}") from exc
+    raise ValueError(f"unknown case {spec!r}; choices: {CASE_CHOICES}")

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.grid import run_ac_power_flow
+from repro.grid.cases import case4, case14, case118, synthetic_grid
+
+
+@pytest.fixture(scope="session")
+def net4():
+    return case4()
+
+
+@pytest.fixture(scope="session")
+def net14():
+    return case14()
+
+
+@pytest.fixture(scope="session")
+def net118():
+    return case118()
+
+
+@pytest.fixture(scope="session")
+def pf4(net4):
+    return run_ac_power_flow(net4)
+
+
+@pytest.fixture(scope="session")
+def pf14(net14):
+    return run_ac_power_flow(net14)
+
+
+@pytest.fixture(scope="session")
+def pf118(net118):
+    return run_ac_power_flow(net118)
+
+
+@pytest.fixture(scope="session")
+def synth9x13():
+    return synthetic_grid(n_areas=9, buses_per_area=13, seed=3)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

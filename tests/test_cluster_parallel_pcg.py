@@ -1,0 +1,125 @@
+"""Tests for the rank-distributed PCG over simulated MPI."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cluster import pnnl_testbed, simulate_parallel_pcg
+from repro.cluster.topology import ClusterSpec, ClusterTopology, LinkSpec
+from repro.estimation import pcg_solve
+
+
+def spd_system(n, seed=0):
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density=0.1, random_state=np.random.RandomState(seed))
+    A = (A.T @ A + sp.eye(n)).tocsr()
+    b = rng.standard_normal(n)
+    return A, b
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("P", [1, 2, 4])
+    def test_matches_serial_pcg(self, P):
+        A, b = spd_system(60)
+        serial = pcg_solve(A, b, preconditioner="jacobi", tol=1e-10)
+        topo = pnnl_testbed()
+        blocks = np.array_split(np.arange(60), P)
+        placement = [topo.clusters[i % 3].name for i in range(P)]
+        res = simulate_parallel_pcg(A, b, blocks, topo, placement, tol=1e-10)
+        assert res.converged
+        assert res.n_ranks == P
+        assert np.allclose(res.x, serial.x, atol=1e-8)
+        # identical Krylov trajectory -> same iteration count (±1 for the
+        # residual-norm test ordering)
+        assert abs(res.iterations - serial.iterations) <= 1
+
+    def test_uneven_blocks(self):
+        A, b = spd_system(30, seed=1)
+        topo = pnnl_testbed()
+        blocks = [np.arange(0, 5), np.arange(5, 25), np.arange(25, 30)]
+        res = simulate_parallel_pcg(
+            A, b, blocks, topo, ["nwiceb", "chinook", "catamount"], tol=1e-10
+        )
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-7)
+
+    def test_zero_rhs(self):
+        A, _ = spd_system(10)
+        topo = pnnl_testbed()
+        res = simulate_parallel_pcg(
+            A, np.zeros(10), [np.arange(10)], topo, ["nwiceb"]
+        )
+        assert res.converged
+        assert res.iterations == 0
+        assert np.all(res.x == 0)
+
+
+class TestValidation:
+    def test_bad_partition_rejected(self):
+        A, b = spd_system(10)
+        topo = pnnl_testbed()
+        with pytest.raises(ValueError, match="partition"):
+            simulate_parallel_pcg(A, b, [np.arange(5)], topo, ["nwiceb"])
+
+    def test_placement_length_checked(self):
+        A, b = spd_system(10)
+        topo = pnnl_testbed()
+        with pytest.raises(ValueError, match="placement"):
+            simulate_parallel_pcg(A, b, [np.arange(10)], topo, ["nwiceb", "chinook"])
+
+    def test_non_spd_rejected(self):
+        A = sp.diags([-1.0, 1.0]).tocsr()
+        topo = pnnl_testbed()
+        with pytest.raises(ValueError, match="diagonal"):
+            simulate_parallel_pcg(
+                A, np.ones(2), [np.arange(2)], topo, ["nwiceb"]
+            )
+
+
+class TestTimingModel:
+    def test_single_rank_has_no_communication(self):
+        A, b = spd_system(40)
+        topo = pnnl_testbed()
+        res = simulate_parallel_pcg(A, b, [np.arange(40)], topo, ["nwiceb"])
+        assert res.messages == 0
+        assert res.bytes_communicated == 0
+
+    def test_colocated_ranks_faster_than_spread(self):
+        """Loopback halo exchange beats LAN halo exchange."""
+        A, b = spd_system(60, seed=2)
+        topo = pnnl_testbed()
+        blocks = np.array_split(np.arange(60), 3)
+        same = simulate_parallel_pcg(
+            A, b, blocks, topo, ["nwiceb"] * 3, tol=1e-10
+        )
+        spread = simulate_parallel_pcg(
+            A, b, blocks, topo, ["nwiceb", "chinook", "catamount"], tol=1e-10
+        )
+        assert same.converged and spread.converged
+        assert same.sim_time < spread.sim_time
+
+    def test_messages_scale_with_ranks_and_iterations(self):
+        A, b = spd_system(40, seed=3)
+        topo = pnnl_testbed()
+        blocks = np.array_split(np.arange(40), 2)
+        res = simulate_parallel_pcg(
+            A, b, blocks, topo, ["nwiceb", "chinook"], tol=1e-10
+        )
+        # allgather (gather+bcast) + barrier per phase, ~3 phases per
+        # iteration, 2 ranks: messages grow linearly with iterations
+        assert res.messages >= 4 * res.iterations
+
+    def test_slow_link_slows_solve(self):
+        A, b = spd_system(40, seed=4)
+        fast = ClusterTopology(
+            clusters=[ClusterSpec(name="a"), ClusterSpec(name="b")],
+            default_link=LinkSpec(latency=1e-6, bandwidth=10e9),
+        )
+        slow = ClusterTopology(
+            clusters=[ClusterSpec(name="a"), ClusterSpec(name="b")],
+            default_link=LinkSpec(latency=5e-3, bandwidth=10e6),
+        )
+        blocks = np.array_split(np.arange(40), 2)
+        t_fast = simulate_parallel_pcg(A, b, blocks, fast, ["a", "b"]).sim_time
+        t_slow = simulate_parallel_pcg(A, b, blocks, slow, ["a", "b"]).sim_time
+        assert t_slow > 10 * t_fast

@@ -1,0 +1,141 @@
+"""Integration tests: the architecture prototype and DSE sessions."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, ClusterTopology
+from repro.core import ArchitecturePrototype, DseSession
+from repro.dse import dse_pmu_placement
+from repro.grid import run_ac_power_flow
+from repro.grid.cases import case118, synthetic_grid
+from repro.measurements import ScadaSystem, full_placement, generate_measurements
+
+
+@pytest.fixture(scope="module")
+def arch118(net118):
+    arch = ArchitecturePrototype.assemble(net118, m_subsystems=9, seed=0)
+    yield arch
+    arch.close()
+
+
+@pytest.fixture(scope="module")
+def frame118(net118, arch118):
+    pf = run_ac_power_flow(net118)
+    rng = np.random.default_rng(0)
+    plac = full_placement(net118).merged_with(dse_pmu_placement(arch118.dec))
+    return pf, generate_measurements(net118, plac, pf, rng=rng)
+
+
+class TestAssemble:
+    def test_default_testbed(self, arch118):
+        assert arch118.topology.n_clusters == 3
+        assert arch118.dec.m == 9
+
+    def test_custom_topology(self, net118):
+        topo = ClusterTopology(clusters=[ClusterSpec(name="solo")])
+        arch = ArchitecturePrototype.assemble(net118, m_subsystems=4, topology=topo)
+        assert arch.mapper.p == 1
+        arch.close()
+
+    def test_fabric_lifecycle(self, net118):
+        arch = ArchitecturePrototype.assemble(
+            net118, m_subsystems=4, with_fabric=True
+        )
+        assert arch.fabric is not None
+        names = set(arch.fabric.clients)
+        assert names == {f"se{s}" for s in range(4)}
+        arch.close()
+        assert arch.fabric is None
+
+
+class TestSession:
+    def test_process_frame_report(self, arch118, frame118):
+        pf, ms = frame118
+        session = DseSession(arch118)
+        rep = session.process_frame(ms, truth=(pf.Vm, pf.Va))
+        assert rep.noise_level > 0
+        assert rep.expected_iterations > rep.noise_level  # g2 offset
+        assert rep.rounds >= 1
+        assert rep.bytes_exchanged > 0
+        assert rep.vm_rmse_vs_truth < 5e-3
+
+    def test_mappings_cover_all_subsystems(self, arch118, frame118):
+        _, ms = frame118
+        session = DseSession(arch118)
+        rep = session.process_frame(ms)
+        for mapping in (rep.mapping_step1, rep.mapping_step2):
+            all_subs = sorted(s for subs in mapping.values() for s in subs)
+            assert all_subs == list(range(9))
+
+    def test_timings_structure(self, arch118, frame118):
+        _, ms = frame118
+        session = DseSession(arch118)
+        rep = session.process_frame(ms)
+        tm = rep.timings
+        assert tm.step1 > 0
+        assert len(tm.exchange_per_round) == rep.rounds
+        assert len(tm.step2_per_round) == rep.rounds
+        assert tm.total == pytest.approx(
+            tm.step1 + tm.redistribution + tm.exchange + tm.step2
+        )
+
+    def test_distribution_parallelises_step1(self, arch118, frame118, net118):
+        """The architecture's point: the distributed Step-1 makespan is
+        well below serialising the same subsystem solves on one core."""
+        from repro.dse import DistributedStateEstimator
+
+        _, ms = frame118
+        session = DseSession(arch118)
+        rep = session.process_frame(ms)
+        dse = DistributedStateEstimator(arch118.dec, ms)
+        serial = sum(
+            r.step1_time for r in dse.run(rounds=1).records.values()
+        )
+        assert rep.timings.step1 < serial
+
+    def test_multi_frame_session_tracks_noise(self, arch118, net118, frame118):
+        pf, _ = frame118
+        rng = np.random.default_rng(1)
+        plac = full_placement(net118).merged_with(dse_pmu_placement(arch118.dec))
+        session = DseSession(arch118)
+        levels = []
+        for _ in range(3):
+            ms = generate_measurements(net118, plac, pf, noise_level=1.0, rng=rng)
+            rep = session.process_frame(ms)
+            levels.append(rep.noise_level)
+        # after the cold start the innovation tracker heads toward 1.0
+        assert levels[-1] < levels[0] + 1e-9
+        assert len(session.reports) == 3
+
+    def test_fabric_frames_actually_relayed(self, net118):
+        pf = run_ac_power_flow(net118)
+        with ArchitecturePrototype.assemble(
+            net118, m_subsystems=4, seed=0, with_fabric=True
+        ) as arch:
+            rng = np.random.default_rng(2)
+            plac = full_placement(net118).merged_with(dse_pmu_placement(arch.dec))
+            ms = generate_measurements(net118, plac, pf, rng=rng)
+            session = DseSession(arch)
+            session.process_frame(ms)
+            stats = arch.fabric.relay_stats()
+            relayed = sum(frames for frames, _ in stats.values())
+            # every subsystem published to every neighbour
+            expect = sum(len(arch.dec.neighbors(s)) for s in range(4))
+            assert relayed == expect
+
+    def test_centralized_sim_time(self, arch118, frame118):
+        _, ms = frame118
+        session = DseSession(arch118)
+        t = session.centralized_sim_time(0.5)
+        assert t == pytest.approx(0.5)
+
+    def test_session_on_scada_stream(self):
+        """End-to-end: SCADA frames through the architecture."""
+        net = synthetic_grid(n_areas=4, buses_per_area=10, seed=5)
+        with ArchitecturePrototype.assemble(net, m_subsystems=4, seed=0) as arch:
+            plac = full_placement(net).merged_with(dse_pmu_placement(arch.dec))
+            scada = ScadaSystem(net, plac, seed=0)
+            session = DseSession(arch)
+            for frame in scada.frames(2):
+                rep = session.process_frame(frame.mset, t=frame.t)
+                assert rep.timings.total > 0

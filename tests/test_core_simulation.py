@@ -1,0 +1,101 @@
+"""Tests for the message-level DSE simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import pnnl_testbed
+from repro.core import ClusterMapper, simulate_dse_message_level
+from repro.dse import DistributedStateEstimator, decompose, dse_pmu_placement
+from repro.grid import run_ac_power_flow
+from repro.grid.cases import case118
+from repro.measurements import full_placement, generate_measurements
+
+
+@pytest.fixture(scope="module")
+def sim_setup(net118, pf118):
+    dec = decompose(net118, 9, seed=0)
+    rng = np.random.default_rng(0)
+    plac = full_placement(net118).merged_with(dse_pmu_placement(dec))
+    ms = generate_measurements(net118, plac, pf118, rng=rng)
+    result = DistributedStateEstimator(dec, ms).run()
+    topo = pnnl_testbed()
+    mapping = ClusterMapper(topo, seed=0).map_step1(dec, 1.0)
+    return dec, result, mapping, topo
+
+
+class TestMessageLevelSimulation:
+    def test_timeline_monotone(self, sim_setup):
+        dec, result, mapping, topo = sim_setup
+        tl = simulate_dse_message_level(dec, result, mapping, topo)
+        assert 0 < tl.step1_done
+        prev = tl.step1_done
+        for t in tl.round_done:
+            assert t > prev
+            prev = t
+        assert tl.total_time == pytest.approx(tl.round_done[-1])
+
+    def test_step1_phase_is_slowest_estimator(self, sim_setup):
+        dec, result, mapping, topo = sim_setup
+        tl = simulate_dse_message_level(dec, result, mapping, topo)
+        slowest = max(r.step1_time for r in result.records.values())
+        assert tl.step1_done == pytest.approx(slowest)
+
+    def test_all_subsystems_finish(self, sim_setup):
+        dec, result, mapping, topo = sim_setup
+        tl = simulate_dse_message_level(dec, result, mapping, topo)
+        assert set(tl.per_subsystem_finish) == set(range(dec.m))
+        assert max(tl.per_subsystem_finish.values()) == pytest.approx(tl.total_time)
+
+    def test_bytes_match_dse_accounting(self, sim_setup):
+        dec, result, mapping, topo = sim_setup
+        tl = simulate_dse_message_level(dec, result, mapping, topo)
+        assert tl.bytes_communicated == pytest.approx(
+            result.total_bytes_exchanged
+        )
+
+    def test_middleware_adds_latency(self, sim_setup):
+        dec, result, mapping, topo = sim_setup
+        with_mw = simulate_dse_message_level(
+            dec, result, mapping, topo, use_middleware=True
+        )
+        without = simulate_dse_message_level(
+            dec, result, mapping, topo, use_middleware=False
+        )
+        assert with_mw.total_time > without.total_time
+        # ...but only slightly: the exchanged pseudo measurements are small
+        # (the paper's "low overhead" conclusion).  The compute durations
+        # are wall-clock measurements and vary with machine load, so bound
+        # the *absolute* relay overhead rather than a tight ratio.
+        overhead = with_mw.total_time - without.total_time
+        assert overhead < 0.1  # seconds, for ~26 KB of pseudo measurements
+
+    def test_message_count(self, sim_setup):
+        dec, result, mapping, topo = sim_setup
+        tl = simulate_dse_message_level(dec, result, mapping, topo)
+        expected = result.rounds * sum(
+            len(dec.neighbors(s)) for s in range(dec.m)
+        )
+        assert tl.messages == expected
+
+    def test_rounds_property(self, sim_setup):
+        dec, result, mapping, topo = sim_setup
+        tl = simulate_dse_message_level(dec, result, mapping, topo)
+        assert tl.rounds == result.rounds
+
+    def test_colocated_mapping_reduces_exchange_time(self, sim_setup):
+        """Placing everything on one cluster turns the exchange into
+        loopback traffic — the degenerate fastest case."""
+        dec, result, mapping, topo = sim_setup
+        from repro.core.mapper import Mapping
+
+        all_one = Mapping(
+            assignment=np.zeros(dec.m, dtype=np.int64),
+            cluster_names=[c.name for c in topo.clusters],
+            imbalance=3.0,
+            edge_cut=0,
+        )
+        spread = simulate_dse_message_level(dec, result, mapping, topo,
+                                            use_middleware=False)
+        packed = simulate_dse_message_level(dec, result, all_one, topo,
+                                            use_middleware=False)
+        assert packed.total_time <= spread.total_time

@@ -1,0 +1,98 @@
+"""Tests for state covariance and confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.estimation import WlsEstimator, state_covariance
+from repro.measurements import full_placement, generate_measurements, pmu_placement
+
+
+class TestStateCovariance:
+    @pytest.fixture(scope="class")
+    def cov14(self, net14, pf14):
+        rng = np.random.default_rng(0)
+        ms = generate_measurements(net14, full_placement(net14), pf14, rng=rng)
+        est = WlsEstimator(net14, ms)
+        res = est.estimate()
+        return est, res, state_covariance(est, res)
+
+    def test_shapes(self, cov14, net14):
+        _, _, cov = cov14
+        assert cov.vm_std.shape == (14,)
+        assert cov.va_std.shape == (14,)
+
+    def test_reference_angle_pinned(self, cov14, net14):
+        est, _, cov = cov14
+        assert cov.reference_bus == net14.slack_buses[0]
+        assert cov.va_std[cov.reference_bus] == 0.0
+
+    def test_stds_positive_elsewhere(self, cov14):
+        _, _, cov = cov14
+        ref = cov.reference_bus
+        mask = np.arange(14) != ref
+        assert np.all(cov.vm_std > 0)
+        assert np.all(cov.va_std[mask] > 0)
+
+    def test_stds_below_meter_sigma(self, cov14):
+        """Redundancy: estimated Vm is tighter than a single 0.004 meter."""
+        _, _, cov = cov14
+        assert np.all(cov.vm_std < 0.004)
+
+    def test_monte_carlo_calibration(self, net118, pf118):
+        """Property: predicted stds match the empirical estimator spread."""
+        errs = []
+        stds = None
+        for trial in range(20):
+            rng = np.random.default_rng(trial)
+            ms = generate_measurements(
+                net118, full_placement(net118), pf118, rng=rng
+            )
+            est = WlsEstimator(net118, ms)
+            res = est.estimate()
+            if stds is None:
+                stds = state_covariance(est, res).vm_std
+            errs.append(res.Vm - pf118.Vm)
+        emp = np.asarray(errs).std(axis=0)
+        ratio = emp / stds
+        assert np.median(ratio) == pytest.approx(1.0, abs=0.3)
+
+    def test_confidence_interval_ordering(self, cov14):
+        _, res, cov = cov14
+        vm_lo, vm_hi, va_lo, va_hi = cov.confidence_interval(res, level=0.95)
+        assert np.all(vm_lo <= res.Vm)
+        assert np.all(res.Vm <= vm_hi)
+        assert np.all(va_lo <= res.Va)
+
+    def test_wider_interval_at_higher_level(self, cov14):
+        _, res, cov = cov14
+        lo95, hi95, *_ = cov.confidence_interval(res, level=0.95)
+        lo99, hi99, *_ = cov.confidence_interval(res, level=0.99)
+        assert np.all(hi99 - lo99 >= hi95 - lo95)
+
+    def test_level_validated(self, cov14):
+        _, res, cov = cov14
+        with pytest.raises(ValueError):
+            cov.confidence_interval(res, level=1.5)
+
+    def test_pmu_anchors_remove_reference_pin(self, net14, pf14):
+        rng = np.random.default_rng(1)
+        plac = full_placement(net14).merged_with(pmu_placement(net14))
+        ms = generate_measurements(net14, plac, pf14, rng=rng)
+        est = WlsEstimator(net14, ms)
+        res = est.estimate()
+        cov = state_covariance(est, res)
+        assert cov.reference_bus is None
+        assert np.all(cov.va_std > 0)
+
+    def test_more_measurements_tighter(self, net14, pf14):
+        """Adding channels can only shrink (or hold) the variances."""
+        rng = np.random.default_rng(2)
+        full = full_placement(net14)
+        ms_full = generate_measurements(net14, full, pf14, rng=rng)
+        est_full = WlsEstimator(net14, ms_full)
+        cov_full = state_covariance(est_full, est_full.estimate())
+
+        half = ms_full.subset(np.arange(0, len(ms_full), 2))
+        est_half = WlsEstimator(net14, half)
+        cov_half = state_covariance(est_half, est_half.estimate())
+        assert cov_full.vm_std.mean() < cov_half.vm_std.mean()

@@ -1,0 +1,88 @@
+"""Tests for fast-decoupled state estimation."""
+
+import numpy as np
+import pytest
+
+from repro.estimation import (
+    EstimationError,
+    estimate_state,
+    fast_decoupled_estimate,
+)
+from repro.measurements import (
+    MeasType,
+    Measurement,
+    MeasurementSet,
+    full_placement,
+    generate_measurements,
+    pmu_placement,
+)
+
+
+class TestFastDecoupled:
+    def test_matches_full_newton(self, net118, pf118):
+        rng = np.random.default_rng(0)
+        ms = generate_measurements(net118, full_placement(net118), pf118, rng=rng)
+        full = estimate_state(net118, ms)
+        fd = fast_decoupled_estimate(net118, ms)
+        assert fd.converged
+        dva = fd.Va - full.Va
+        dva -= dva.mean()
+        assert np.abs(fd.Vm - full.Vm).max() < 5e-4
+        assert np.abs(dva).max() < 5e-4
+
+    def test_zero_noise_recovery(self, net14, pf14):
+        rng = np.random.default_rng(1)
+        ms = generate_measurements(
+            net14, full_placement(net14), pf14, noise_level=0.0, rng=rng
+        )
+        fd = fast_decoupled_estimate(net14, ms, tol=1e-10)
+        assert np.allclose(fd.Vm, pf14.Vm, atol=1e-7)
+        assert np.allclose(fd.Va, pf14.Va, atol=1e-7)
+
+    def test_faster_per_iteration_than_newton(self, net118, pf118):
+        """The decoupled halves factorise once: more (cheaper) iterations."""
+        rng = np.random.default_rng(2)
+        ms = generate_measurements(net118, full_placement(net118), pf118, rng=rng)
+        full = estimate_state(net118, ms)
+        fd = fast_decoupled_estimate(net118, ms)
+        assert fd.iterations >= full.iterations  # linear vs quadratic rate
+
+    def test_rejects_current_magnitudes(self, net14, pf14):
+        plac = pmu_placement(net14)  # contains I_MAG_F channels
+        rng = np.random.default_rng(3)
+        ms = generate_measurements(net14, plac, pf14, rng=rng)
+        with pytest.raises(EstimationError, match="current"):
+            fast_decoupled_estimate(net14, ms)
+
+    def test_needs_both_halves(self, net14):
+        p_only = MeasurementSet(
+            [Measurement(MeasType.P_INJ, b, 0.0, 0.01) for b in range(14)]
+        )
+        with pytest.raises(EstimationError, match="active and reactive"):
+            fast_decoupled_estimate(net14, p_only)
+
+    def test_underdetermined(self, net14):
+        tiny = MeasurementSet(
+            [
+                Measurement(MeasType.P_INJ, 0, 0.0, 0.01),
+                Measurement(MeasType.Q_INJ, 0, 0.0, 0.01),
+            ]
+        )
+        with pytest.raises(EstimationError, match="underdetermined"):
+            fast_decoupled_estimate(net14, tiny)
+
+    def test_pmu_anchored_absolute_angles(self, net14, pf14):
+        from repro.measurements import DEFAULT_SIGMAS
+
+        plac = full_placement(net14)
+        anchors = MeasurementSet(
+            [Measurement(MeasType.PMU_VA, b, 0.0, DEFAULT_SIGMAS[MeasType.PMU_VA])
+             for b in range(3)]
+        )
+        rng = np.random.default_rng(4)
+        ms = generate_measurements(
+            net14, plac.merged_with(anchors), pf14, noise_level=0.0, rng=rng
+        )
+        fd = fast_decoupled_estimate(net14, ms, tol=1e-10)
+        # absolute angle recovered (no reference shift)
+        assert np.abs(fd.Va - pf14.Va).max() < 1e-6

@@ -1,0 +1,176 @@
+"""Tests for the from-scratch PCG solver and preconditioners."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import (
+    BlockJacobiPreconditioner,
+    IChol0Preconditioner,
+    ichol0,
+    jacobi_preconditioner,
+    pcg_solve,
+)
+
+
+def random_spd(n, rng, density=0.3):
+    """Random sparse SPD matrix via AᵀA + shift."""
+    A = sp.random(n, n, density=density, random_state=np.random.RandomState(int(rng.integers(2**31))))
+    return (A.T @ A + 0.5 * sp.eye(n)).tocsc()
+
+
+class TestPcgSolve:
+    def test_identity(self):
+        A = sp.eye(5, format="csc")
+        b = np.arange(5.0)
+        res = pcg_solve(A, b)
+        assert res.converged
+        assert np.allclose(res.x, b)
+
+    def test_matches_direct_solver(self, rng):
+        A = random_spd(40, rng)
+        b = rng.standard_normal(40)
+        res = pcg_solve(A, b, tol=1e-12)
+        ref = sp.linalg.spsolve(A, b)
+        assert res.converged
+        assert np.allclose(res.x, ref, atol=1e-8)
+
+    def test_zero_rhs(self):
+        A = sp.eye(3, format="csc")
+        res = pcg_solve(A, np.zeros(3))
+        assert res.converged
+        assert np.allclose(res.x, 0)
+
+    def test_warm_start(self, rng):
+        A = random_spd(30, rng)
+        b = rng.standard_normal(30)
+        exact = sp.linalg.spsolve(A, b)
+        res = pcg_solve(A, b, x0=exact, tol=1e-10)
+        assert res.iterations <= 2
+
+    def test_max_iter_reported(self, rng):
+        A = random_spd(50, rng)
+        b = rng.standard_normal(50)
+        res = pcg_solve(A, b, max_iter=1, tol=1e-14, preconditioner="none")
+        assert not res.converged
+        assert res.iterations == 1
+
+    def test_residual_history_monotone_tail(self, rng):
+        A = random_spd(30, rng)
+        b = rng.standard_normal(30)
+        res = pcg_solve(A, b, tol=1e-12)
+        assert res.residual_history[-1] < res.residual_history[0]
+
+    def test_indefinite_detected(self):
+        A = sp.diags([1.0, -1.0, 1.0]).tocsc()
+        res = pcg_solve(A, np.array([1.0, 1.0, 1.0]), preconditioner="none")
+        assert not res.converged
+
+    def test_unknown_preconditioner(self):
+        A = sp.eye(3, format="csc")
+        with pytest.raises(ValueError):
+            pcg_solve(A, np.ones(3), preconditioner="bogus")
+
+    def test_callable_preconditioner(self, rng):
+        A = random_spd(20, rng)
+        b = rng.standard_normal(20)
+        res = pcg_solve(A, b, preconditioner=lambda v: v, tol=1e-12)
+        assert res.converged
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 30), seed=st.integers(0, 10_000))
+    def test_property_solves_spd(self, n, seed):
+        """Property: PCG solves any SPD system to tolerance."""
+        rng = np.random.default_rng(seed)
+        A = random_spd(n, rng)
+        b = rng.standard_normal(n)
+        res = pcg_solve(A, b, tol=1e-11)
+        assert res.converged
+        assert np.linalg.norm(A @ res.x - b) / np.linalg.norm(b) < 1e-9
+
+
+class TestJacobi:
+    def test_apply(self):
+        A = sp.diags([4.0, 2.0]).tocsc()
+        M = jacobi_preconditioner(A)
+        assert np.allclose(M(np.array([4.0, 2.0])), [1.0, 1.0])
+
+    def test_rejects_nonpositive_diagonal(self):
+        A = sp.diags([1.0, 0.0]).tocsc()
+        with pytest.raises(ValueError):
+            jacobi_preconditioner(A)
+
+    def test_speeds_up_illconditioned(self, rng):
+        d = np.logspace(0, 6, 60)
+        A = sp.diags(d).tocsc()
+        b = rng.standard_normal(60)
+        plain = pcg_solve(A, b, preconditioner="none", tol=1e-10, max_iter=1000)
+        prec = pcg_solve(A, b, preconditioner="jacobi", tol=1e-10, max_iter=1000)
+        assert prec.iterations < plain.iterations
+
+
+class TestIChol0:
+    def test_exact_on_tridiagonal(self):
+        # IC(0) on a banded matrix with no fill-in is the exact factor.
+        A = sp.diags([[-1.0] * 9, [4.0] * 10, [-1.0] * 9], [-1, 0, 1]).tocsc()
+        L = ichol0(A)
+        assert np.allclose((L @ L.T).toarray(), A.toarray(), atol=1e-12)
+
+    def test_preconditioner_reduces_iterations(self, rng):
+        # 2-D Laplacian: the textbook IC(0) win.
+        n = 15
+        I = sp.eye(n)
+        T = sp.diags([[-1.0] * (n - 1), [4.0] * n, [-1.0] * (n - 1)], [-1, 0, 1])
+        A = (sp.kron(I, T) + sp.kron(sp.diags([[-1.0] * (n - 1)] * 2, [-1, 1]), I)).tocsc()
+        b = rng.standard_normal(n * n)
+        plain = pcg_solve(A, b, preconditioner="jacobi", tol=1e-10, max_iter=2000)
+        ic = pcg_solve(A, b, preconditioner="ichol", tol=1e-10, max_iter=2000)
+        assert ic.converged
+        assert ic.iterations < plain.iterations
+
+    def test_breakdown_raises(self):
+        # SPD but IC(0)-breaking matrices exist; a non-SPD one certainly breaks.
+        A = sp.csc_matrix(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        with pytest.raises(ValueError):
+            ichol0(A)
+
+    def test_shifted_fallback(self):
+        A = sp.csc_matrix(np.array([[1.0, 0.99, 0.99],
+                                    [0.99, 1.0, 0.99],
+                                    [0.99, 0.99, 1.0]]))
+        # SPD (eigs ~ 0.01, 0.01, 2.98) but IC(0) may need a shift; the
+        # preconditioner object must construct regardless.
+        M = IChol0Preconditioner(A)
+        v = np.ones(3)
+        assert np.all(np.isfinite(M(v)))
+
+
+class TestBlockJacobi:
+    def test_exact_when_single_block(self, rng):
+        A = random_spd(12, rng)
+        M = BlockJacobiPreconditioner(A, [np.arange(12)])
+        b = rng.standard_normal(12)
+        assert np.allclose(M(b), sp.linalg.spsolve(A, b), atol=1e-9)
+
+    def test_partition_validated(self, rng):
+        A = random_spd(6, rng)
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(A, [np.array([0, 1])])  # incomplete
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(A, [np.arange(6), np.array([0])])  # overlap
+
+    def test_block_structure_beats_jacobi(self, rng):
+        # Block-diagonal-dominant matrix: block Jacobi nearly exact.
+        blocks = [np.arange(0, 10), np.arange(10, 20)]
+        A11 = random_spd(10, rng).toarray()
+        A22 = random_spd(10, rng).toarray()
+        A = np.block([[A11, 0.01 * rng.standard_normal((10, 10))],
+                      [0.01 * rng.standard_normal((10, 10)), A22]])
+        A = sp.csc_matrix((A + A.T) / 2 + 1e-3 * np.eye(20))
+        b = rng.standard_normal(20)
+        bj = pcg_solve(A, b, preconditioner=BlockJacobiPreconditioner(A, blocks), tol=1e-10)
+        jb = pcg_solve(A, b, preconditioner="jacobi", tol=1e-10)
+        assert bj.converged
+        assert bj.iterations <= jb.iterations

@@ -1,0 +1,131 @@
+"""Tests for the Huber robust estimator and constrained WLS."""
+
+import numpy as np
+import pytest
+
+from repro.estimation import (
+    constrained_estimate,
+    estimate_state,
+    huber_estimate,
+    zero_injection_buses,
+)
+from repro.measurements import (
+    DEFAULT_SIGMAS,
+    Measurement,
+    MeasType,
+    MeasurementModel,
+    MeasurementSet,
+    full_placement,
+    generate_measurements,
+    inject_bad_data,
+)
+
+
+class TestHuber:
+    def test_matches_wls_on_clean_data(self, net14, pf14):
+        """With no outliers the Huber estimate coincides with WLS."""
+        rng = np.random.default_rng(0)
+        ms = generate_measurements(
+            net14, full_placement(net14), pf14, noise_level=0.3, rng=rng
+        )
+        wls = estimate_state(net14, ms)
+        hub = huber_estimate(net14, ms, gamma=3.0)
+        assert hub.converged
+        assert np.allclose(hub.Vm, wls.Vm, atol=2e-4)
+        assert np.allclose(hub.Va, wls.Va, atol=2e-4)
+
+    def test_resists_gross_errors(self, net118, pf118):
+        """Gross errors hurt Huber far less than plain WLS."""
+        rng = np.random.default_rng(1)
+        ms = generate_measurements(net118, full_placement(net118), pf118, rng=rng)
+        bad = inject_bad_data(
+            ms, np.array([30, 150, 400]), magnitude_sigmas=25, rng=rng
+        )
+        wls_err = estimate_state(net118, bad).state_error(pf118.Vm, pf118.Va)
+        hub_err = huber_estimate(net118, bad).state_error(pf118.Vm, pf118.Va)
+        assert hub_err["vm_rmse"] < wls_err["vm_rmse"]
+        assert hub_err["vm_max"] < wls_err["vm_max"]
+
+    def test_zero_noise_exact(self, net14, pf14):
+        rng = np.random.default_rng(2)
+        ms = generate_measurements(
+            net14, full_placement(net14), pf14, noise_level=0.0, rng=rng
+        )
+        res = huber_estimate(net14, ms)
+        assert np.allclose(res.Vm, pf14.Vm, atol=1e-9)
+
+    def test_gamma_validated(self, net14, pf14):
+        rng = np.random.default_rng(3)
+        ms = generate_measurements(net14, full_placement(net14), pf14, rng=rng)
+        with pytest.raises(ValueError):
+            huber_estimate(net14, ms, gamma=0.0)
+
+    def test_underdetermined_rejected(self, net14):
+        ms = MeasurementSet([Measurement(MeasType.V_MAG, 0, 1.0, 0.01)])
+        with pytest.raises(Exception):
+            huber_estimate(net14, ms)
+
+
+class TestZeroInjectionDetection:
+    def test_case118_known_buses(self, net118):
+        zi = zero_injection_buses(net118)
+        ids = set(net118.bus_ids[zi].tolist())
+        # the passive 345 kV interconnection buses of the 118 system
+        assert ids == {9, 30, 38, 63, 64, 68, 71, 81}
+
+    def test_case14_bus7(self, net14):
+        zi = zero_injection_buses(net14)
+        assert 7 in net14.bus_ids[zi].tolist()
+
+    def test_gen_bus_not_zero_injection(self, net14):
+        zi = set(net14.bus_ids[zero_injection_buses(net14)].tolist())
+        for gb in net14.bus_ids[net14.gen_bus]:
+            assert int(gb) not in zi
+
+
+class TestConstrainedEstimate:
+    def _violation(self, net, res):
+        zi = zero_injection_buses(net)
+        cset = MeasurementSet(
+            [Measurement(MeasType.P_INJ, int(b), 0.0, 0.01) for b in zi]
+            + [Measurement(MeasType.Q_INJ, int(b), 0.0, 0.01) for b in zi]
+        )
+        cm = MeasurementModel(net, cset)
+        return float(np.abs(cm.h(res.Vm, res.Va)).max())
+
+    def test_constraints_enforced_exactly(self, net118, pf118):
+        rng = np.random.default_rng(4)
+        ms = generate_measurements(net118, full_placement(net118), pf118, rng=rng)
+        res = constrained_estimate(net118, ms)
+        assert res.converged
+        assert self._violation(net118, res) < 1e-9
+
+    def test_tighter_than_unconstrained(self, net118, pf118):
+        rng = np.random.default_rng(5)
+        ms = generate_measurements(net118, full_placement(net118), pf118, rng=rng)
+        plain = estimate_state(net118, ms)
+        con = constrained_estimate(net118, ms)
+        assert self._violation(net118, con) < self._violation(net118, plain)
+
+    def test_accuracy_not_worse(self, net118, pf118):
+        rng = np.random.default_rng(6)
+        ms = generate_measurements(net118, full_placement(net118), pf118, rng=rng)
+        plain = estimate_state(net118, ms).state_error(pf118.Vm, pf118.Va)
+        con = constrained_estimate(net118, ms).state_error(pf118.Vm, pf118.Va)
+        # hard constraints inject true information: at worst break-even
+        assert con["vm_rmse"] <= plain["vm_rmse"] * 1.05
+
+    def test_explicit_bus_list(self, net14, pf14):
+        rng = np.random.default_rng(7)
+        ms = generate_measurements(net14, full_placement(net14), pf14, rng=rng)
+        zi = zero_injection_buses(net14)
+        res = constrained_estimate(net14, ms, zi)
+        assert res.converged
+
+    def test_no_constraints_degenerates_to_wls(self, net14, pf14):
+        rng = np.random.default_rng(8)
+        ms = generate_measurements(net14, full_placement(net14), pf14, rng=rng)
+        res = constrained_estimate(net14, ms, np.array([], dtype=np.int64))
+        wls = estimate_state(net14, ms)
+        assert np.allclose(res.Vm, wls.Vm, atol=1e-8)
+        assert np.allclose(res.Va, wls.Va, atol=1e-8)

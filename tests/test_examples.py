@@ -1,0 +1,40 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example's ``main()`` is imported and executed; the assertion is
+"no exception and plausible output".  The WECC-scale example is exercised
+at reduced size elsewhere (bench A4) and skipped here for runtime.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.mark.parametrize(
+    "name, marker",
+    [
+        ("quickstart", "chi-square"),
+        ("dse_ieee118", "accuracy"),
+        ("pmu_streaming", "normalized-residual"),
+        ("contingency_analysis", "speedup"),
+        ("adaptive_operations", "frames"),
+    ],
+)
+def test_example_runs(capsys, name, marker):
+    mod = _load(name)
+    mod.main()
+    out = capsys.readouterr().out
+    assert marker in out
+    assert "Traceback" not in out

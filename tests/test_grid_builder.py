@@ -1,0 +1,122 @@
+"""Tests for the fluent NetworkBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.grid import BusType, NetworkBuilder, run_ac_power_flow
+from repro.grid.cases import case4
+
+
+def _basic_builder():
+    return (
+        NetworkBuilder(base_mva=100)
+        .add_bus(1, slack=True, vm=1.02)
+        .add_bus(2, pd=30, qd=10)
+        .add_bus(3, pd=80, qd=30)
+        .add_gen(1)
+        .add_gen(2, pg=80, vg=1.01)
+        .add_line(1, 2, r=0.01, x=0.05, b=0.02)
+        .add_line(1, 3, r=0.02, x=0.08)
+        .add_line(2, 3, r=0.02, x=0.06)
+    )
+
+
+class TestBuilder:
+    def test_builds_solvable_network(self):
+        net = _basic_builder().build()
+        assert net.n_bus == 3
+        pf = run_ac_power_flow(net, flat_start=True)
+        assert pf.converged
+
+    def test_gen_promotes_bus_to_pv(self):
+        net = _basic_builder().build()
+        assert net.bus_type[net.index_of(2)] == BusType.PV
+
+    def test_out_of_service_gen_no_promotion(self):
+        net = (
+            NetworkBuilder()
+            .add_bus(1, slack=True)
+            .add_bus(2, pd=10)
+            .add_gen(2, pg=10, in_service=False)
+            .add_line(1, 2, r=0.01, x=0.05)
+            .build()
+        )
+        assert net.bus_type[net.index_of(2)] == BusType.PQ
+
+    def test_transformer(self):
+        net = (
+            NetworkBuilder()
+            .add_bus(1, slack=True)
+            .add_bus(2, pd=5)
+            .add_transformer(1, 2, x=0.1, tap=0.98, shift_deg=5.0)
+            .build()
+        )
+        assert net.tap[0] == pytest.approx(0.98)
+        assert net.shift[0] == pytest.approx(np.deg2rad(5.0))
+
+    def test_loads_converted_to_per_unit(self):
+        net = _basic_builder().build()
+        assert net.Pd[net.index_of(3)] == pytest.approx(0.8)
+
+    def test_matches_equivalent_case_dict(self):
+        """The builder is sugar over Network.from_case."""
+        built = (
+            NetworkBuilder(base_mva=100, name="case4")
+            .add_bus(1, slack=True, vm=1.02)
+            .add_bus(2, pd=30, qd=10)
+            .add_bus(3, pd=80, qd=30)
+            .add_bus(4, pd=50, qd=20, area=2)
+            .add_gen(1, vg=1.02)
+            .add_gen(2, pg=80, vg=1.01)
+            .add_line(1, 2, r=0.01, x=0.05, b=0.02)
+            .add_line(1, 3, r=0.02, x=0.08, b=0.02)
+            .add_line(2, 3, r=0.02, x=0.06, b=0.02)
+            .add_line(2, 4, r=0.03, x=0.10, b=0.03)
+            .add_line(3, 4, r=0.02, x=0.07, b=0.02)
+            .build()
+        )
+        ref = case4()
+        pf_b = run_ac_power_flow(built, flat_start=True)
+        pf_r = run_ac_power_flow(ref, flat_start=True)
+        assert np.allclose(pf_b.Vm, pf_r.Vm, atol=1e-9)
+        assert np.allclose(pf_b.Va, pf_r.Va, atol=1e-9)
+
+
+class TestBuilderValidation:
+    def test_duplicate_bus(self):
+        b = NetworkBuilder().add_bus(1, slack=True)
+        with pytest.raises(ValueError, match="duplicate"):
+            b.add_bus(1)
+
+    def test_two_slacks(self):
+        b = NetworkBuilder().add_bus(1, slack=True)
+        with pytest.raises(ValueError, match="slack"):
+            b.add_bus(2, slack=True)
+
+    def test_missing_slack(self):
+        b = NetworkBuilder().add_bus(1).add_bus(2).add_line(1, 2, r=0.01, x=0.1)
+        with pytest.raises(ValueError, match="slack"):
+            b.build()
+
+    def test_gen_unknown_bus(self):
+        b = NetworkBuilder().add_bus(1, slack=True)
+        with pytest.raises(ValueError, match="unknown bus"):
+            b.add_gen(9)
+
+    def test_line_unknown_bus(self):
+        b = NetworkBuilder().add_bus(1, slack=True)
+        with pytest.raises(ValueError, match="unknown bus"):
+            b.add_line(1, 9, r=0.01, x=0.1)
+
+    def test_bad_tap(self):
+        b = NetworkBuilder().add_bus(1, slack=True).add_bus(2)
+        with pytest.raises(ValueError, match="tap"):
+            b.add_transformer(1, 2, x=0.1, tap=0.0)
+
+    def test_empty_build(self):
+        with pytest.raises(ValueError, match="no buses"):
+            NetworkBuilder().build()
+
+    def test_bad_base_mva(self):
+        with pytest.raises(ValueError):
+            NetworkBuilder(base_mva=0)

@@ -1,0 +1,98 @@
+"""Validation of bundled cases and the synthetic generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import is_single_island, run_ac_power_flow
+from repro.grid.cases import (
+    SyntheticGridSpec,
+    case4,
+    case14,
+    case118,
+    synthetic_grid,
+)
+
+
+class TestBundledCases:
+    def test_case4_dimensions(self, net4):
+        assert (net4.n_bus, net4.n_branch, net4.n_gen) == (4, 5, 2)
+
+    def test_case14_dimensions(self, net14):
+        assert (net14.n_bus, net14.n_branch, net14.n_gen) == (14, 20, 5)
+
+    def test_case118_dimensions(self, net118):
+        assert (net118.n_bus, net118.n_branch, net118.n_gen) == (118, 186, 54)
+
+    @pytest.mark.parametrize("factory", [case4, case14, case118])
+    def test_single_island(self, factory):
+        assert is_single_island(factory())
+
+    @pytest.mark.parametrize("factory", [case4, case14, case118])
+    def test_flat_start_power_flow_converges(self, factory):
+        r = run_ac_power_flow(factory(), flat_start=True)
+        assert r.converged
+        assert 0.90 <= r.Vm.min() and r.Vm.max() <= 1.10
+
+    def test_case118_load_totals(self, net118):
+        # Total system load of the IEEE 118 system is 4242 MW.
+        assert net118.Pd.sum() * net118.base_mva == pytest.approx(4242, abs=1.0)
+
+    def test_case118_slack_is_bus_69(self, net118):
+        assert net118.bus_ids[net118.slack_buses[0]] == 69
+
+    def test_case118_stored_profile_near_solution(self, net118, pf118):
+        # The stored Vm/Va profile is the published solved case; our solver
+        # should land close to it (tolerance covers the 3-decimal rounding
+        # of the published profile).
+        assert np.allclose(pf118.Vm, net118.Vm0, atol=2e-2)
+        assert np.allclose(np.rad2deg(pf118.Va - net118.Va0), 0, atol=1.0)
+
+    def test_case14_stored_profile_near_solution(self, net14, pf14):
+        assert np.allclose(pf14.Vm, net14.Vm0, atol=5e-3)
+
+
+class TestSyntheticGrid:
+    def test_deterministic_per_seed(self):
+        a = synthetic_grid(seed=5)
+        b = synthetic_grid(seed=5)
+        assert np.array_equal(a.f, b.f)
+        assert np.allclose(a.x, b.x)
+        assert np.allclose(a.Pd, b.Pd)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_grid(seed=5)
+        b = synthetic_grid(seed=6)
+        assert not (np.array_equal(a.f, b.f) and np.allclose(a.Pd, b.Pd))
+
+    def test_bus_count(self):
+        net = synthetic_grid(n_areas=4, buses_per_area=10, seed=0)
+        assert net.n_bus == 40
+
+    def test_areas_labelled(self):
+        net = synthetic_grid(n_areas=4, buses_per_area=10, seed=0)
+        assert set(net.area.tolist()) == {1, 2, 3, 4}
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticGridSpec(n_areas=0)
+        with pytest.raises(ValueError):
+            SyntheticGridSpec(buses_per_area=1)
+
+    def test_spec_and_kwargs_mutually_exclusive(self):
+        with pytest.raises(TypeError):
+            synthetic_grid(SyntheticGridSpec(), seed=1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_areas=st.integers(min_value=1, max_value=8),
+        buses=st.integers(min_value=4, max_value=25),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_always_connected_and_solvable(self, n_areas, buses, seed):
+        """Property: every generated grid is one island and solves AC PF."""
+        net = synthetic_grid(n_areas=n_areas, buses_per_area=buses, seed=seed)
+        assert is_single_island(net)
+        r = run_ac_power_flow(net, flat_start=True, max_iter=40)
+        assert r.converged

@@ -1,0 +1,70 @@
+"""Tests for island / connectivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.grid import find_islands, is_single_island, subgraph_components
+from repro.grid.cases import case4_dict, case14
+from repro.grid.network import Network
+
+
+class TestFindIslands:
+    def test_connected_case_single_island(self, net14):
+        islands = find_islands(net14)
+        assert len(islands) == 1
+        assert np.array_equal(islands[0], np.arange(14))
+
+    def test_cut_branch_splits(self):
+        d = case4_dict()
+        # Remove 2-4 and 3-4: bus 4 becomes its own island.
+        d["branch"][3][10] = 0
+        d["branch"][4][10] = 0
+        net = Network.from_case(d)
+        islands = find_islands(net)
+        assert len(islands) == 2
+        assert [3] in [i.tolist() for i in islands]
+
+    def test_is_single_island_false_after_cut(self):
+        d = case4_dict()
+        d["branch"][3][10] = 0
+        d["branch"][4][10] = 0
+        net = Network.from_case(d)
+        assert not is_single_island(net)
+
+    def test_islands_are_sorted_and_disjoint(self):
+        d = case4_dict()
+        d["branch"][3][10] = 0
+        d["branch"][4][10] = 0
+        net = Network.from_case(d)
+        islands = find_islands(net)
+        all_buses = np.concatenate(islands)
+        assert sorted(all_buses.tolist()) == list(range(4))
+
+
+class TestSubgraphComponents:
+    def test_connected_subset(self, net14):
+        pairs = net14.adjacency_pairs()
+        comps = subgraph_components(14, pairs, np.array([0, 1, 2, 3]))
+        # buses 1,2,3,4 are mutually connected in case14
+        assert len(comps) == 1
+
+    def test_disconnected_subset(self, net14):
+        pairs = net14.adjacency_pairs()
+        # bus 0 (bus 1) and bus 13 (bus 14) are not adjacent
+        comps = subgraph_components(14, pairs, np.array([0, 13]))
+        assert len(comps) == 2
+
+    def test_empty_members(self, net14):
+        comps = subgraph_components(14, net14.adjacency_pairs(), np.array([], int))
+        assert comps == []
+
+    def test_single_member(self, net14):
+        comps = subgraph_components(14, net14.adjacency_pairs(), np.array([5]))
+        assert len(comps) == 1
+        assert comps[0].tolist() == [5]
+
+    def test_indices_in_original_space(self, net14):
+        pairs = net14.adjacency_pairs()
+        comps = subgraph_components(14, pairs, np.array([10, 11, 12]))
+        for comp in comps:
+            assert set(comp.tolist()) <= {10, 11, 12}

@@ -1,0 +1,110 @@
+"""Tests for MATPOWER case-file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    dump_matpower,
+    load_matpower,
+    parse_matpower,
+    run_ac_power_flow,
+    save_matpower,
+)
+from repro.grid.cases import case4, case14, case118
+from repro.grid.network import Network
+
+
+class TestParse:
+    def test_minimal_case(self):
+        text = """
+        function mpc = tiny
+        mpc.baseMVA = 100;
+        mpc.bus = [
+            1 3 0 0 0 0 1 1.0 0 138 1 1.1 0.9;
+            2 1 10 5 0 0 1 1.0 0 138 1 1.1 0.9;
+        ];
+        mpc.gen = [
+            1 20 0 50 -50 1.0 100 1 100 0;
+        ];
+        mpc.branch = [
+            1 2 0.01 0.05 0.02 0 0 0 0 0 1 -360 360;
+        ];
+        """
+        case = parse_matpower(text)
+        assert case["name"] == "tiny"
+        assert case["baseMVA"] == 100.0
+        net = Network.from_case(case)
+        assert net.n_bus == 2
+
+    def test_comments_stripped(self):
+        text = """
+        function mpc = c  % trailing comment
+        mpc.baseMVA = 100; % base
+        % full-line comment
+        mpc.bus = [
+            1 3 0 0 0 0 1 1.0 0 138 1 1.1 0.9; % bus 1
+            2 1 0 0 0 0 1 1.0 0 138 1 1.1 0.9;
+        ];
+        mpc.gen = [ 1 0 0 9 -9 1.0 100 1 9 0; ];
+        mpc.branch = [ 1 2 0.01 0.05 0 0 0 0 0 0 1 -360 360; ];
+        """
+        case = parse_matpower(text)
+        assert len(case["bus"]) == 2
+
+    def test_missing_base_mva(self):
+        with pytest.raises(ValueError, match="baseMVA"):
+            parse_matpower("mpc.bus = [1 3 0 0 0 0 1 1 0 138 1 1.1 .9;];")
+
+    def test_missing_section(self):
+        text = "mpc.baseMVA = 100;\nmpc.bus = [1 3 0 0 0 0 1 1 0 138 1 1.1 .9;];"
+        with pytest.raises(ValueError, match="missing mpc.gen"):
+            parse_matpower(text)
+
+    def test_ragged_matrix(self):
+        text = """
+        mpc.baseMVA = 100;
+        mpc.bus = [
+            1 3 0 0 0 0 1 1.0 0 138 1 1.1 0.9;
+            2 1 0 0;
+        ];
+        mpc.gen = [1 0 0 9 -9 1 100 1 9 0;];
+        mpc.branch = [1 2 0.01 0.05 0 0 0 0 0 0 1 -360 360;];
+        """
+        with pytest.raises(ValueError, match="ragged"):
+            parse_matpower(text)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("factory", [case4, case14, case118])
+    def test_electrical_roundtrip(self, factory):
+        net = factory()
+        net2 = Network.from_case(parse_matpower(dump_matpower(net)))
+        assert net2.n_bus == net.n_bus
+        assert net2.n_branch == net.n_branch
+        assert net2.n_gen == net.n_gen
+        assert np.allclose(net2.r, net.r)
+        assert np.allclose(net2.x, net.x)
+        assert np.allclose(net2.tap, net.tap)
+        assert np.allclose(net2.Pd, net.Pd)
+        assert np.allclose(net2.Pg, net.Pg)
+        assert np.array_equal(net2.bus_type, net.bus_type)
+
+    def test_power_flow_identical(self, net118):
+        net2 = Network.from_case(parse_matpower(dump_matpower(net118)))
+        pf1 = run_ac_power_flow(net118)
+        pf2 = run_ac_power_flow(net2)
+        assert np.allclose(pf1.Vm, pf2.Vm, atol=1e-12)
+        assert np.allclose(pf1.Va, pf2.Va, atol=1e-12)
+
+    def test_file_io(self, tmp_path, net14):
+        path = tmp_path / "case14.m"
+        save_matpower(net14, path)
+        net2 = load_matpower(path)
+        assert net2.n_bus == 14
+        assert np.allclose(net2.x, net14.x)
+
+    def test_out_of_service_branch_preserved(self, tmp_path):
+        net = case14()
+        net.br_status[3] = 0
+        net2 = Network.from_case(parse_matpower(dump_matpower(net)))
+        assert net2.br_status[3] == 0

@@ -1,0 +1,158 @@
+"""Unit tests for the network data model."""
+
+import numpy as np
+import pytest
+
+from repro.grid import BusType, Network, NetworkError
+from repro.grid.cases import case4, case4_dict, case14
+
+
+class TestFromCase:
+    def test_basic_shape(self, net4):
+        assert net4.n_bus == 4
+        assert net4.n_branch == 5
+        assert net4.n_gen == 2
+
+    def test_per_unit_conversion(self, net4):
+        # case4 bus 3 carries 80 MW / 30 MVAr on a 100 MVA base.
+        i = net4.index_of(3)
+        assert net4.Pd[i] == pytest.approx(0.8)
+        assert net4.Qd[i] == pytest.approx(0.3)
+
+    def test_angles_in_radians(self):
+        d = case4_dict()
+        d["bus"][1][8] = 90.0  # degrees
+        net = Network.from_case(d)
+        assert net.Va0[1] == pytest.approx(np.pi / 2)
+
+    def test_zero_tap_becomes_unity(self, net14):
+        assert np.all(net14.tap > 0)
+        # lines have tap 1.0; the 4-7 transformer has 0.978
+        k = np.flatnonzero(
+            (net14.bus_ids[net14.f] == 4) & (net14.bus_ids[net14.t] == 7)
+        )[0]
+        assert net14.tap[k] == pytest.approx(0.978)
+        line0 = 0
+        assert net14.tap[line0] == pytest.approx(1.0)
+
+    def test_bus_id_mapping_roundtrip(self, net14):
+        for bid in net14.bus_ids:
+            assert net14.bus_ids[net14.index_of(bid)] == bid
+
+    def test_indices_of_vectorised(self, net14):
+        idx = net14.indices_of([1, 5, 14])
+        assert list(net14.bus_ids[idx]) == [1, 5, 14]
+
+    def test_unknown_bus_raises(self, net14):
+        with pytest.raises(NetworkError):
+            net14.index_of(999)
+
+
+class TestValidation:
+    def test_duplicate_bus_numbers(self):
+        d = case4_dict()
+        d["bus"][1][0] = 1  # same as bus 0
+        with pytest.raises(NetworkError, match="duplicate"):
+            Network.from_case(d)
+
+    def test_missing_slack(self):
+        d = case4_dict()
+        d["bus"][0][1] = BusType.PQ
+        with pytest.raises(NetworkError, match="slack"):
+            Network.from_case(d)
+
+    def test_branch_to_unknown_bus(self):
+        d = case4_dict()
+        d["branch"][0][0] = 77
+        with pytest.raises(NetworkError):
+            Network.from_case(d)
+
+    def test_self_loop_rejected(self):
+        d = case4_dict()
+        d["branch"][0][1] = d["branch"][0][0]
+        with pytest.raises(NetworkError, match="self-loop"):
+            Network.from_case(d)
+
+    def test_zero_impedance_rejected(self):
+        d = case4_dict()
+        d["branch"][0][2] = 0.0
+        d["branch"][0][3] = 0.0
+        with pytest.raises(NetworkError, match="impedance"):
+            Network.from_case(d)
+
+    def test_nonpositive_base_mva(self):
+        d = case4_dict()
+        d["baseMVA"] = 0.0
+        with pytest.raises(NetworkError, match="baseMVA"):
+            Network.from_case(d)
+
+    def test_short_bus_table_rejected(self):
+        d = case4_dict()
+        d["bus"] = [row[:5] for row in d["bus"]]
+        with pytest.raises(NetworkError, match="columns"):
+            Network.from_case(d)
+
+
+class TestBusSets:
+    def test_type_partition_is_complete(self, net14):
+        all_buses = np.sort(
+            np.concatenate([net14.slack_buses, net14.pv_buses, net14.pq_buses])
+        )
+        assert np.array_equal(all_buses, np.arange(net14.n_bus))
+
+    def test_case14_has_one_slack_four_pv(self, net14):
+        assert len(net14.slack_buses) == 1
+        assert len(net14.pv_buses) == 4
+
+
+class TestInjections:
+    def test_injections_sum_gen_minus_load(self, net4):
+        P, Q = net4.bus_injections()
+        # bus 2 (index 1): 80 MW gen, 30 MW load
+        assert P[1] == pytest.approx(0.8 - 0.3)
+        # bus 3 (index 2): pure load
+        assert P[2] == pytest.approx(-0.8)
+
+    def test_out_of_service_gen_excluded(self):
+        d = case4_dict()
+        d["gen"][1][7] = 0  # switch off gen at bus 2
+        net = Network.from_case(d)
+        P, _ = net.bus_injections()
+        assert P[1] == pytest.approx(-0.3)
+
+
+class TestTopologyExports:
+    def test_adjacency_pairs_unique_and_sorted(self, net14):
+        pairs = net14.adjacency_pairs()
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        assert len(np.unique(pairs, axis=0)) == len(pairs)
+
+    def test_adjacency_skips_dead_branches(self):
+        d = case4_dict()
+        d["branch"][4][10] = 0  # 3-4 out of service
+        net = Network.from_case(d)
+        pairs = net.adjacency_pairs()
+        assert [2, 3] not in pairs.tolist()
+
+    def test_to_networkx_nodes_edges(self, net14):
+        g = net14.to_networkx()
+        assert g.number_of_nodes() == 14
+        assert g.number_of_edges() == 20  # case14 has no parallel branches
+
+    def test_parallel_branches_collapse_in_graph(self, net118):
+        g = net118.to_networkx()
+        # 118 case has parallel circuits (e.g. 42-49 double), so edges < branches
+        assert g.number_of_edges() < net118.n_branch
+        u, v = net118.index_of(42), net118.index_of(49)
+        assert len(g[u][v]["branches"]) == 2
+
+
+class TestCopy:
+    def test_copy_is_deep(self, net4):
+        c = net4.copy()
+        c.Pd[0] = 99.0
+        assert net4.Pd[0] != 99.0
+
+    def test_copy_preserves_mapping(self, net14):
+        c = net14.copy()
+        assert c.index_of(9) == net14.index_of(9)

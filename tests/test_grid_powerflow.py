@@ -1,0 +1,112 @@
+"""Unit and property tests for AC / DC power flow."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    PowerFlowError,
+    build_ybus,
+    run_ac_power_flow,
+    run_dc_power_flow,
+)
+from repro.grid.cases import case4, case4_dict, case14, synthetic_grid
+from repro.grid.network import Network
+
+
+class TestACPowerFlow:
+    def test_converges_case14_flat(self, net14):
+        r = run_ac_power_flow(net14, flat_start=True)
+        assert r.converged
+        assert 0 < r.iterations <= 10
+
+    def test_mismatch_below_tolerance(self, pf14):
+        assert pf14.max_mismatch < 1e-8
+
+    def test_known_case14_solution(self, pf14, net14):
+        """Compare against the published IEEE 14-bus solution."""
+        # published Vm at buses 4, 9, 14 (MATPOWER solution values)
+        for bid, vm_ref in ((4, 1.018), (9, 1.056), (14, 1.036)):
+            assert pf14.Vm[net14.index_of(bid)] == pytest.approx(vm_ref, abs=2e-3)
+        # angle at bus 14 about -16.0 degrees
+        assert np.rad2deg(pf14.Va[net14.index_of(14)]) == pytest.approx(-16.0, abs=0.3)
+
+    def test_slack_angle_preserved(self, pf14, net14):
+        s = net14.slack_buses[0]
+        assert pf14.Va[s] == pytest.approx(net14.Va0[s])
+
+    def test_pv_magnitudes_held(self, pf14, net14):
+        on = net14.gen_status > 0
+        for gb, vg in zip(net14.gen_bus[on], net14.Vg[on]):
+            if net14.bus_type[gb] == 2:
+                assert pf14.Vm[gb] == pytest.approx(vg)
+
+    def test_injections_match_spec_at_pq(self, pf14, net14):
+        P, Q = net14.bus_injections()
+        pq = net14.pq_buses
+        assert np.allclose(pf14.P[pq], P[pq], atol=1e-7)
+        assert np.allclose(pf14.Q[pq], Q[pq], atol=1e-7)
+
+    def test_flow_balance_losses_nonnegative(self, pf118):
+        # P loss per branch = Pf + Pt >= 0 for inductive lines
+        losses = pf118.Pf + pf118.Pt
+        assert np.all(losses > -1e-9)
+
+    def test_total_balance(self, pf118):
+        # Sum of injections equals total losses (slack picks up losses).
+        losses = (pf118.Pf + pf118.Pt).sum()
+        assert pf118.P.sum() == pytest.approx(losses, abs=1e-6)
+
+    def test_branch_flows_match_voltage_solution(self, pf14, net14):
+        ybus = build_ybus(net14)
+        V = pf14.V
+        s = V * np.conj(ybus @ V)
+        assert np.allclose(s.real, pf14.P, atol=1e-9)
+        assert np.allclose(s.imag, pf14.Q, atol=1e-9)
+
+    def test_nonconvergence_raises(self, net4):
+        d = case4_dict()
+        d["bus"][2][2] = 5000.0  # 50 p.u. load: infeasible
+        net = Network.from_case(d)
+        with pytest.raises(PowerFlowError):
+            run_ac_power_flow(net, flat_start=True, max_iter=10)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_synthetic_grids_converge(self, seed):
+        net = synthetic_grid(n_areas=5, buses_per_area=20, seed=seed)
+        r = run_ac_power_flow(net, flat_start=True)
+        assert r.converged
+        assert r.Vm.min() > 0.85
+        assert r.Vm.max() < 1.1
+
+    def test_warm_start_fewer_or_equal_iters(self, net118):
+        cold = run_ac_power_flow(net118, flat_start=True)
+        warm = run_ac_power_flow(net118)
+        assert warm.iterations <= cold.iterations
+
+
+class TestDCPowerFlow:
+    def test_slack_angle_zero_reference(self, net14):
+        r = run_dc_power_flow(net14)
+        assert r.Va[net14.slack_buses[0]] == pytest.approx(0.0)
+
+    def test_flat_voltage(self, net14):
+        r = run_dc_power_flow(net14)
+        assert np.all(r.Vm == 1.0)
+
+    def test_angles_approximate_ac(self, net14):
+        ac = run_ac_power_flow(net14)
+        dc = run_dc_power_flow(net14)
+        # Reference shift: compare angle differences from slack.
+        s = net14.slack_buses[0]
+        ac_rel = ac.Va - ac.Va[s]
+        assert np.allclose(dc.Va, ac_rel, atol=np.deg2rad(4.0))
+
+    def test_injection_conservation(self, net118):
+        r = run_dc_power_flow(net118)
+        # lossless: injections sum to zero
+        assert r.P.sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_flows_antisymmetric(self, net118):
+        r = run_dc_power_flow(net118)
+        assert np.allclose(r.Pf, -r.Pt)
+        assert np.all(r.Qf == 0)

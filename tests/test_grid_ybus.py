@@ -1,0 +1,110 @@
+"""Unit tests for admittance construction."""
+
+import numpy as np
+import pytest
+
+from repro.grid import branch_admittances, build_yf_yt, build_ybus
+from repro.grid.cases import case4, case4_dict, case14, case118
+from repro.grid.network import Network
+
+
+class TestYbusStructure:
+    def test_shape_and_dtype(self, net14):
+        y = build_ybus(net14)
+        assert y.shape == (14, 14)
+        assert np.iscomplexobj(y.toarray())
+
+    def test_symmetric_without_shifters(self, net118):
+        # case118 has taps but no phase shifters -> Ybus is structurally
+        # symmetric but not value-symmetric; with no taps it is symmetric.
+        net = case4()
+        y = build_ybus(net).toarray()
+        assert np.allclose(y, y.T)
+
+    def test_row_sums_equal_shunt_when_no_charging(self):
+        # A network with no line charging and no shunts: each row of Ybus
+        # sums to ~0 (Kirchhoff).
+        d = case4_dict()
+        for row in d["branch"]:
+            row[4] = 0.0
+        net = Network.from_case(d)
+        y = build_ybus(net).toarray()
+        assert np.allclose(y.sum(axis=1), 0, atol=1e-12)
+
+    def test_bus_shunt_appears_on_diagonal(self):
+        d = case4_dict()
+        d["bus"][2][5] = 25.0  # 25 MVAr shunt at bus 3
+        net = Network.from_case(d)
+        y_with = build_ybus(net).toarray()
+        y_wo = build_ybus(case4()).toarray()
+        delta = y_with - y_wo
+        assert delta[2, 2] == pytest.approx(0.25j)
+        delta[2, 2] = 0
+        assert np.allclose(delta, 0)
+
+    def test_out_of_service_branch_excluded(self):
+        d = case4_dict()
+        d["branch"][0][10] = 0
+        net = Network.from_case(d)
+        y = build_ybus(net).toarray()
+        assert y[0, 1] == pytest.approx(0.0)
+
+
+class TestBranchAdmittances:
+    def test_line_terms_match_pi_model(self, net4):
+        adm = branch_admittances(net4)
+        k = 0  # branch 1-2: r=.01 x=.05 b=.02
+        ys = 1 / (0.01 + 0.05j)
+        assert adm.ytt[k] == pytest.approx(ys + 0.01j)
+        assert adm.yff[k] == pytest.approx(ys + 0.01j)
+        assert adm.yft[k] == pytest.approx(-ys)
+        assert adm.ytf[k] == pytest.approx(-ys)
+
+    def test_tap_scales_from_side(self, net14):
+        adm = branch_admittances(net14)
+        k = 7  # 4-7 transformer, tap 0.978, x=0.20912
+        ys = 1 / 0.20912j
+        assert adm.yff[k] == pytest.approx(ys / 0.978**2)
+        assert adm.yft[k] == pytest.approx(-ys / 0.978)
+        assert adm.ytt[k] == pytest.approx(ys)
+
+    def test_phase_shift_breaks_reciprocity(self):
+        d = case4_dict()
+        d["branch"][0][9] = 10.0  # degrees
+        net = Network.from_case(d)
+        adm = branch_admittances(net)
+        assert adm.yft[0] != pytest.approx(adm.ytf[0])
+        # magnitudes still agree
+        assert abs(adm.yft[0]) == pytest.approx(abs(adm.ytf[0]))
+
+    def test_dead_branch_zeroed(self):
+        d = case4_dict()
+        d["branch"][2][10] = 0
+        net = Network.from_case(d)
+        adm = branch_admittances(net)
+        for term in (adm.yff, adm.yft, adm.ytf, adm.ytt):
+            assert term[2] == 0
+
+
+class TestYfYt:
+    def test_flow_consistency_with_ybus(self, net118):
+        """Σ branch + shunt current at each bus equals Ybus @ V."""
+        rng = np.random.default_rng(0)
+        n = net118.n_bus
+        V = (1 + 0.05 * rng.standard_normal(n)) * np.exp(
+            1j * 0.1 * rng.standard_normal(n)
+        )
+        ybus = build_ybus(net118)
+        yf, yt = build_yf_yt(net118)
+        i_f = yf @ V
+        i_t = yt @ V
+        i_bus = np.zeros(n, dtype=complex)
+        np.add.at(i_bus, net118.f, i_f)
+        np.add.at(i_bus, net118.t, i_t)
+        i_bus += (net118.Gs + 1j * net118.Bs) * V
+        assert np.allclose(i_bus, ybus @ V, atol=1e-12)
+
+    def test_shapes(self, net14):
+        yf, yt = build_yf_yt(net14)
+        assert yf.shape == (20, 14)
+        assert yt.shape == (20, 14)

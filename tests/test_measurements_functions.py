@@ -1,0 +1,124 @@
+"""Tests for measurement functions h(x) and Jacobians."""
+
+import numpy as np
+import pytest
+
+from repro.grid import run_ac_power_flow
+from repro.measurements import (
+    Measurement,
+    MeasType,
+    MeasurementModel,
+    MeasurementSet,
+    full_placement,
+    pmu_placement,
+    true_values,
+)
+
+
+def finite_diff_jacobian(model, Vm, Va, eps=1e-7):
+    n = len(Vm)
+    h0 = model.h(Vm, Va)
+    J = np.zeros((len(h0), 2 * n))
+    for j in range(2 * n):
+        vm, va = Vm.copy(), Va.copy()
+        if j < n:
+            va[j] += eps
+        else:
+            vm[j - n] += eps
+        J[:, j] = (model.h(vm, va) - h0) / eps
+    return J
+
+
+class TestH:
+    def test_h_matches_power_flow(self, net14, pf14):
+        """At the solved point, h reproduces the PF injections and flows."""
+        plac = full_placement(net14)
+        vals = true_values(net14, plac, pf14)
+        ms = plac.with_values(vals)
+        # Injections
+        rows = ms.rows(MeasType.P_INJ)
+        assert np.allclose(ms.z[rows], pf14.P, atol=1e-12)
+        rows = ms.rows(MeasType.Q_INJ)
+        assert np.allclose(ms.z[rows], pf14.Q, atol=1e-12)
+        # Flows
+        els = ms.elements(MeasType.P_FLOW_F)
+        assert np.allclose(ms.z[ms.rows(MeasType.P_FLOW_F)], pf14.Pf[els], atol=1e-12)
+        els = ms.elements(MeasType.Q_FLOW_T)
+        assert np.allclose(ms.z[ms.rows(MeasType.Q_FLOW_T)], pf14.Qt[els], atol=1e-12)
+
+    def test_vmag_and_angle_passthrough(self, net14, pf14):
+        ms = MeasurementSet(
+            [
+                Measurement(MeasType.V_MAG, 3, 0.0, 0.01),
+                Measurement(MeasType.PMU_VA, 7, 0.0, 0.01),
+            ]
+        )
+        model = MeasurementModel(net14, ms)
+        h = model.h(pf14.Vm, pf14.Va)
+        assert h[0] == pf14.Vm[3]
+        assert h[1] == pf14.Va[7]
+
+    def test_current_magnitude(self, net14, pf14):
+        ms = MeasurementSet([Measurement(MeasType.I_MAG_F, 0, 0.0, 0.01)])
+        model = MeasurementModel(net14, ms)
+        h = model.h(pf14.Vm, pf14.Va)
+        s = np.hypot(pf14.Pf[0], pf14.Qf[0])
+        assert h[0] == pytest.approx(s / pf14.Vm[net14.f[0]], rel=1e-9)
+
+    def test_bad_element_rejected(self, net14):
+        ms = MeasurementSet([Measurement(MeasType.V_MAG, 99, 0.0, 0.01)])
+        with pytest.raises(ValueError, match="references element"):
+            MeasurementModel(net14, ms)
+
+    def test_residual_zero_at_truth(self, net14, pf14):
+        plac = full_placement(net14)
+        vals = true_values(net14, plac, pf14)
+        ms = plac.with_values(vals)
+        model = MeasurementModel(net14, ms)
+        assert np.allclose(model.residual(ms.z, pf14.Vm, pf14.Va), 0, atol=1e-12)
+
+
+class TestJacobian:
+    @pytest.mark.parametrize("placement_fn", [full_placement, pmu_placement])
+    def test_matches_finite_difference(self, net14, pf14, placement_fn):
+        plac = placement_fn(net14)
+        model = MeasurementModel(net14, plac)
+        H = model.jacobian(pf14.Vm, pf14.Va).toarray()
+        Hfd = finite_diff_jacobian(model, pf14.Vm, pf14.Va)
+        # forward differences: truncation error ~ eps * |h''|; current
+        # magnitude rows have O(1) values so allow a looser bound there
+        assert np.abs(H - Hfd).max() < 2e-4
+
+    def test_matches_fd_off_solution(self, net14, rng):
+        """Jacobian is exact at arbitrary (feasible) states, not just x*."""
+        plac = full_placement(net14)
+        model = MeasurementModel(net14, plac)
+        Vm = 1.0 + 0.05 * rng.standard_normal(14)
+        Va = 0.2 * rng.standard_normal(14)
+        H = model.jacobian(Vm, Va).toarray()
+        Hfd = finite_diff_jacobian(model, Vm, Va)
+        assert np.abs(H - Hfd).max() < 1e-5
+
+    def test_shape_and_sparsity(self, net118, pf118):
+        plac = full_placement(net118)
+        model = MeasurementModel(net118, plac)
+        H = model.jacobian(pf118.Vm, pf118.Va)
+        assert H.shape == (len(plac), 2 * 118)
+        # Each row touches only the local neighbourhood: way below 10% fill.
+        assert H.nnz < 0.1 * H.shape[0] * H.shape[1]
+
+    def test_vmag_rows_are_unit_vectors(self, net14, pf14):
+        plac = full_placement(net14)
+        model = MeasurementModel(net14, plac)
+        H = model.jacobian(pf14.Vm, pf14.Va).toarray()
+        rows = plac.rows(MeasType.V_MAG)
+        els = plac.elements(MeasType.V_MAG)
+        for r, e in zip(rows, els):
+            expect = np.zeros(2 * 14)
+            expect[14 + e] = 1.0
+            assert np.array_equal(H[r], expect)
+
+    def test_empty_set_jacobian(self, net14, pf14):
+        model = MeasurementModel(net14, MeasurementSet([]))
+        H = model.jacobian(pf14.Vm, pf14.Va)
+        assert H.shape == (0, 28)

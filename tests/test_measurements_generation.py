@@ -1,0 +1,194 @@
+"""Tests for placement plans, noisy generation, SCADA and PMU streams."""
+
+import numpy as np
+import pytest
+
+from repro.grid import run_ac_power_flow
+from repro.measurements import (
+    MeasType,
+    NoiseProcess,
+    PmuStream,
+    ScadaSystem,
+    full_placement,
+    generate_measurements,
+    greedy_pmu_sites,
+    inject_bad_data,
+    pmu_placement,
+    pmu_storage_bytes,
+    scada_placement,
+    true_values,
+)
+
+
+class TestPlacements:
+    def test_full_placement_counts(self, net14):
+        plac = full_placement(net14)
+        # 3 per bus + 4 per live branch
+        assert len(plac) == 3 * 14 + 4 * 20
+
+    def test_scada_placement_has_all_injections(self, net118):
+        plac = scada_placement(net118)
+        assert plac.count(MeasType.P_INJ) == 118
+        assert plac.count(MeasType.Q_INJ) == 118
+
+    def test_scada_flow_fraction(self, net118):
+        plac = scada_placement(net118, flow_fraction=0.5, seed=1)
+        assert plac.count(MeasType.P_FLOW_F) == round(0.5 * 186)
+
+    def test_scada_flow_fraction_validated(self, net14):
+        with pytest.raises(ValueError):
+            scada_placement(net14, flow_fraction=1.5)
+
+    def test_scada_deterministic_by_seed(self, net118):
+        a = scada_placement(net118, seed=3)
+        b = scada_placement(net118, seed=3)
+        assert np.array_equal(
+            a.elements(MeasType.P_FLOW_F), b.elements(MeasType.P_FLOW_F)
+        )
+
+    def test_greedy_pmu_sites_dominate(self, net118):
+        sites = greedy_pmu_sites(net118)
+        covered = set(sites.tolist())
+        for u, v in net118.adjacency_pairs():
+            if u in covered:
+                covered.add(int(v))
+            if v in covered:
+                covered.add(int(u))
+        # every bus adjacent to (or hosting) a PMU
+        pairs = net118.adjacency_pairs()
+        cover = set(sites.tolist())
+        for u, v in pairs:
+            if int(u) in set(sites.tolist()):
+                cover.add(int(v))
+            if int(v) in set(sites.tolist()):
+                cover.add(int(u))
+        assert cover == set(range(118))
+
+    def test_pmu_placement_channels(self, net14):
+        sites = np.array([1, 5])
+        plac = pmu_placement(net14, sites)
+        assert plac.count(MeasType.PMU_VA) == 2
+        assert plac.count(MeasType.V_MAG) == 2
+        # current channels only on branches leaving a PMU bus (from side)
+        for k in plac.elements(MeasType.I_MAG_F):
+            assert net14.f[k] in (1, 5)
+
+
+class TestGeneration:
+    def test_zero_noise_equals_truth(self, net14, pf14, rng):
+        plac = full_placement(net14)
+        ms = generate_measurements(net14, plac, pf14, noise_level=0.0, rng=rng)
+        assert np.allclose(ms.z, true_values(net14, plac, pf14))
+
+    def test_noise_scales_with_level(self, net14, pf14):
+        plac = full_placement(net14)
+        h0 = true_values(net14, plac, pf14)
+        devs = []
+        for lvl in (0.5, 4.0):
+            r = np.random.default_rng(7)
+            ms = generate_measurements(net14, plac, pf14, noise_level=lvl, rng=r)
+            devs.append(np.std((ms.z - h0) / plac.sigma))
+        assert devs[1] / devs[0] == pytest.approx(8.0, rel=0.01)
+
+    def test_negative_level_rejected(self, net14, pf14):
+        with pytest.raises(ValueError):
+            generate_measurements(net14, full_placement(net14), pf14, noise_level=-1)
+
+    def test_noise_statistics(self, net118, pf118):
+        """Property: standardized errors are ~N(0,1) over many channels."""
+        plac = full_placement(net118)
+        h0 = true_values(net118, plac, pf118)
+        ms = generate_measurements(
+            net118, plac, pf118, rng=np.random.default_rng(0)
+        )
+        zstd = (ms.z - h0) / plac.sigma
+        assert abs(zstd.mean()) < 0.1
+        assert abs(zstd.std() - 1.0) < 0.1
+
+    def test_inject_bad_data_rows(self, net14, pf14, rng):
+        plac = full_placement(net14)
+        ms = generate_measurements(net14, plac, pf14, rng=rng)
+        bad = inject_bad_data(ms, np.array([4]), magnitude_sigmas=25, rng=rng)
+        delta = np.abs(bad.z - ms.z)
+        assert delta[4] == pytest.approx(25 * ms.sigma[4])
+        delta[4] = 0
+        assert np.all(delta == 0)
+
+
+class TestScadaSystem:
+    def test_frames_are_sequential(self, net14):
+        sc = ScadaSystem(net14, scada_placement(net14), seed=0)
+        frames = sc.frames(3)
+        assert [f.t for f in frames] == [0.0, 4.0, 8.0]
+
+    def test_scan_period_respected(self, net14):
+        sc = ScadaSystem(net14, scada_placement(net14), scan_period=2.0, seed=0)
+        frames = sc.frames(2)
+        assert frames[1].t - frames[0].t == 2.0
+
+    def test_invalid_period(self, net14):
+        with pytest.raises(ValueError):
+            ScadaSystem(net14, scada_placement(net14), scan_period=0)
+
+    def test_load_drift_changes_operating_point(self, net14):
+        sc = ScadaSystem(net14, scada_placement(net14), load_walk_sigma=0.05, seed=1)
+        frames = sc.frames(4)
+        p0 = frames[0].pf.P.sum()
+        assert any(abs(f.pf.P.sum() - p0) > 1e-6 for f in frames[1:])
+
+    def test_noise_levels_positive(self, net14):
+        sc = ScadaSystem(net14, scada_placement(net14), seed=2)
+        frames = sc.frames(10)
+        assert all(f.noise_level > 0 for f in frames)
+
+    def test_reproducible_with_seed(self, net14):
+        a = ScadaSystem(net14, scada_placement(net14), seed=9).frames(3)
+        b = ScadaSystem(net14, scada_placement(net14), seed=9).frames(3)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.mset.z, fb.mset.z)
+
+
+class TestNoiseProcess:
+    def test_mean_reversion(self):
+        rng = np.random.default_rng(0)
+        proc = NoiseProcess(mean=1.0, theta=0.5, sigma=0.01)
+        proc._x = 5.0
+        for _ in range(50):
+            proc.step(rng)
+        assert abs(proc.level - 1.0) < 0.2
+
+    def test_floor_enforced(self):
+        rng = np.random.default_rng(0)
+        proc = NoiseProcess(mean=0.0, theta=0.9, sigma=0.0, floor=0.05)
+        for _ in range(10):
+            proc.step(rng)
+        assert proc.level >= 0.05
+
+    def test_theta_validated(self):
+        with pytest.raises(ValueError):
+            NoiseProcess(theta=0.0)
+
+
+class TestPmuStream:
+    def test_sample_timing(self, net14, pf14):
+        stream = PmuStream(net14, np.array([0, 4]), rate_hz=30.0, seed=0)
+        samples = stream.samples(pf14, t0=10.0, n=3)
+        assert samples[0].t == 10.0
+        assert samples[1].t == pytest.approx(10.0 + 1 / 30)
+
+    def test_rate_validated(self, net14):
+        with pytest.raises(ValueError):
+            PmuStream(net14, rate_hz=0)
+
+    def test_default_sites_observable_cover(self, net14):
+        stream = PmuStream(net14)
+        assert stream.n_sites >= 1
+
+    def test_storage_estimate_matches_paper_scale(self):
+        # ~300 PMUs for 30 days lands near the paper's ~1.12 TB figure.
+        tb = pmu_storage_bytes(300, 30) / 1e12
+        assert 0.5 < tb < 2.5
+
+    def test_storage_validation(self):
+        with pytest.raises(ValueError):
+            pmu_storage_bytes(-1, 1)

@@ -1,0 +1,118 @@
+"""Unit tests for measurement types and containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurements import DEFAULT_SIGMAS, Measurement, MeasType, MeasurementSet
+
+
+def _m(t, el, v=0.0, s=0.01):
+    return Measurement(t, el, v, s)
+
+
+class TestMeasurement:
+    def test_requires_positive_sigma(self):
+        with pytest.raises(ValueError):
+            Measurement(MeasType.V_MAG, 0, 1.0, 0.0)
+
+    def test_requires_nonnegative_element(self):
+        with pytest.raises(ValueError):
+            Measurement(MeasType.V_MAG, -1, 1.0, 0.01)
+
+    def test_bus_branch_classification(self):
+        assert MeasType.V_MAG.is_bus
+        assert MeasType.PMU_VA.is_bus
+        assert MeasType.P_FLOW_F.is_branch
+        assert not MeasType.P_INJ.is_branch
+
+    def test_default_sigmas_cover_all_types(self):
+        assert set(DEFAULT_SIGMAS) == set(MeasType)
+
+
+class TestMeasurementSet:
+    def test_canonical_order_types_then_elements(self):
+        ms = MeasurementSet(
+            [
+                _m(MeasType.P_FLOW_F, 3),
+                _m(MeasType.V_MAG, 5),
+                _m(MeasType.V_MAG, 1),
+                _m(MeasType.P_INJ, 0),
+            ]
+        )
+        kinds = [m.mtype for m in ms]
+        assert kinds == [
+            MeasType.V_MAG,
+            MeasType.V_MAG,
+            MeasType.P_INJ,
+            MeasType.P_FLOW_F,
+        ]
+        assert ms.elements(MeasType.V_MAG).tolist() == [1, 5]
+
+    def test_rows_match_iteration_order(self):
+        ms = MeasurementSet(
+            [_m(MeasType.Q_INJ, 2, v=7.0), _m(MeasType.V_MAG, 0, v=1.0)]
+        )
+        assert ms.z[ms.rows(MeasType.V_MAG)[0]] == 1.0
+        assert ms.z[ms.rows(MeasType.Q_INJ)[0]] == 7.0
+
+    def test_duplicates_preserved(self):
+        ms = MeasurementSet([_m(MeasType.V_MAG, 2), _m(MeasType.V_MAG, 2)])
+        assert len(ms) == 2
+        assert ms.count(MeasType.V_MAG) == 2
+
+    def test_weights_are_inverse_variance(self):
+        ms = MeasurementSet([_m(MeasType.V_MAG, 0, s=0.1)])
+        assert ms.weights[0] == pytest.approx(100.0)
+
+    def test_with_values_roundtrip(self):
+        ms = MeasurementSet([_m(MeasType.V_MAG, 0), _m(MeasType.P_INJ, 1)])
+        ms2 = ms.with_values(np.array([1.5, -0.5]))
+        assert ms2.z.tolist() == [1.5, -0.5]
+        assert len(ms2) == 2
+
+    def test_with_values_length_check(self):
+        ms = MeasurementSet([_m(MeasType.V_MAG, 0)])
+        with pytest.raises(ValueError):
+            ms.with_values(np.zeros(3))
+
+    def test_subset_boolean_and_index(self):
+        ms = MeasurementSet(
+            [_m(MeasType.V_MAG, i, v=float(i)) for i in range(5)]
+        )
+        sub = ms.subset(np.array([True, False, True, False, False]))
+        assert sub.z.tolist() == [0.0, 2.0]
+        sub2 = ms.subset(np.array([3, 4]))
+        assert sub2.z.tolist() == [3.0, 4.0]
+
+    def test_merged_with(self):
+        a = MeasurementSet([_m(MeasType.V_MAG, 0)])
+        b = MeasurementSet([_m(MeasType.P_INJ, 1)])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert merged.count(MeasType.P_INJ) == 1
+
+    def test_empty_set(self):
+        ms = MeasurementSet([])
+        assert len(ms) == 0
+        assert ms.z.shape == (0,)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(MeasType)),
+                st.integers(min_value=0, max_value=30),
+                st.floats(-10, 10, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_canonical_order_is_idempotent(self, raw):
+        """Property: re-canonicalising a canonical set changes nothing."""
+        ms = MeasurementSet([_m(t, e, v) for t, e, v in raw])
+        ms2 = MeasurementSet(list(ms))
+        assert np.array_equal(ms.z, ms2.z)
+        assert [m.mtype for m in ms] == [m.mtype for m in ms2]
+        assert [m.element for m in ms] == [m.element for m in ms2]

@@ -1,0 +1,294 @@
+"""Tests for the MeDICi-style middleware."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.middleware import (
+    EndpointRegistry,
+    FrameError,
+    InprocTransport,
+    MifComponent,
+    MifPipeline,
+    MiddlewareFabric,
+    MWClient,
+    TcpTransport,
+    pack_state_update,
+    parse_endpoint,
+    unpack_state_update,
+)
+
+
+class TestEndpoints:
+    def test_parse_tcp(self):
+        ep = parse_endpoint("tcp://nwiceb.pnl.gov:6789")
+        assert (ep.scheme, ep.host, ep.port) == ("tcp", "nwiceb.pnl.gov", 6789)
+        assert ep.url == "tcp://nwiceb.pnl.gov:6789"
+
+    def test_parse_inproc(self):
+        ep = parse_endpoint("inproc://site-3")
+        assert ep.host == "site-3"
+        assert ep.port is None
+
+    def test_port_zero_allowed(self):
+        assert parse_endpoint("tcp://127.0.0.1:0").port == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["nohost", "tcp://host", "tcp://:80", "tcp://h:99999", "tcp://h:xy",
+         "ftp://h:1", "inproc://"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
+
+
+class TestStateUpdatePacking:
+    def test_roundtrip(self):
+        ids = np.array([5, 9, 100], dtype=np.int64)
+        vm = np.array([1.0, 0.98, 1.02])
+        va = np.array([-0.1, 0.0, 0.2])
+        ids2, vm2, va2 = unpack_state_update(pack_state_update(ids, vm, va))
+        assert np.array_equal(ids, ids2)
+        assert np.array_equal(vm, vm2)
+        assert np.array_equal(va, va2)
+
+    def test_empty_update(self):
+        ids, vm, va = unpack_state_update(
+            pack_state_update(np.array([], np.int64), np.array([]), np.array([]))
+        )
+        assert len(ids) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pack_state_update(np.array([1]), np.array([1.0, 2.0]), np.array([0.0]))
+
+    def test_corrupt_buffer_rejected(self):
+        buf = pack_state_update(np.array([1]), np.array([1.0]), np.array([0.0]))
+        with pytest.raises(FrameError):
+            unpack_state_update(buf[:-3])
+
+
+class TestInprocTransport:
+    def test_connect_without_listener(self):
+        t = InprocTransport()
+        with pytest.raises(ConnectionRefusedError):
+            t.connect("inproc://nobody")
+
+    def test_duplicate_bind_rejected(self):
+        t = InprocTransport()
+        t.listen("inproc://x")
+        with pytest.raises(ValueError, match="already bound"):
+            t.listen("inproc://x")
+
+    def test_send_recv(self):
+        t = InprocTransport()
+        listener = t.listen("inproc://srv")
+        client = t.connect("inproc://srv")
+        server = listener.accept(timeout=1)
+        client.send_bytes(b"ping")
+        assert server.recv_bytes(timeout=1) == b"ping"
+        server.send_bytes(b"pong")
+        assert client.recv_bytes(timeout=1) == b"pong"
+
+    def test_recv_timeout(self):
+        t = InprocTransport()
+        listener = t.listen("inproc://srv2")
+        client = t.connect("inproc://srv2")
+        server = listener.accept(timeout=1)
+        with pytest.raises(TimeoutError):
+            server.recv_bytes(timeout=0.05)
+
+    def test_scheme_mismatch(self):
+        t = InprocTransport()
+        with pytest.raises(ValueError):
+            t.listen("tcp://127.0.0.1:0")
+
+
+class TestTcpTransport:
+    def test_roundtrip_frames(self):
+        t = TcpTransport()
+        listener = t.listen("tcp://127.0.0.1:0")
+        got = []
+
+        def server():
+            conn = listener.accept(timeout=2)
+            got.append(conn.recv_bytes(timeout=2))
+            conn.send_bytes(b"ack")
+            conn.close()
+
+        th = threading.Thread(target=server, daemon=True)
+        th.start()
+        client = t.connect(listener.endpoint.url)
+        client.send_bytes(b"hello" * 1000)
+        assert client.recv_bytes(timeout=2) == b"ack"
+        th.join(timeout=2)
+        assert got[0] == b"hello" * 1000
+        client.close()
+        listener.close()
+
+    def test_port_zero_resolved(self):
+        t = TcpTransport()
+        listener = t.listen("tcp://127.0.0.1:0")
+        assert listener.endpoint.port > 0
+        listener.close()
+
+    def test_large_frame(self):
+        t = TcpTransport()
+        listener = t.listen("tcp://127.0.0.1:0")
+        payload = bytes(np.random.default_rng(0).integers(0, 256, 2_000_000, dtype=np.uint8))
+        got = []
+
+        def server():
+            conn = listener.accept(timeout=2)
+            got.append(conn.recv_bytes(timeout=5))
+            conn.close()
+
+        th = threading.Thread(target=server, daemon=True)
+        th.start()
+        client = t.connect(listener.endpoint.url)
+        client.send_bytes(payload)
+        th.join(timeout=5)
+        assert got[0] == payload
+        client.close()
+        listener.close()
+
+
+class TestPipeline:
+    def test_relay_inproc(self):
+        t = InprocTransport()
+        sink = t.listen("inproc://sink")
+        pipeline = MifPipeline(inproc=t)
+        comp = MifComponent("relay")
+        pipeline.add_mif_component(comp)
+        comp.set_in_endpoint("inproc://pipe-in")
+        comp.set_out_endpoint("inproc://sink")
+        pipeline.start()
+        try:
+            conn = t.connect("inproc://pipe-in")
+            conn.send_bytes(b"data123")
+            server = sink.accept(timeout=2)
+            assert server.recv_bytes(timeout=2) == b"data123"
+            time.sleep(0.05)
+            assert comp.frames_relayed == 1
+            assert comp.bytes_relayed == 7
+        finally:
+            pipeline.stop()
+
+    def test_transform_applied(self):
+        t = InprocTransport()
+        sink = t.listen("inproc://sink-t")
+        pipeline = MifPipeline(inproc=t)
+        comp = MifComponent("upper", transform=lambda p: p.upper())
+        pipeline.add_mif_component(comp)
+        comp.set_in_endpoint("inproc://pipe-t")
+        comp.set_out_endpoint("inproc://sink-t")
+        pipeline.start()
+        try:
+            conn = t.connect("inproc://pipe-t")
+            conn.send_bytes(b"abc")
+            server = sink.accept(timeout=2)
+            assert server.recv_bytes(timeout=2) == b"ABC"
+        finally:
+            pipeline.stop()
+
+    def test_missing_endpoints_rejected(self):
+        pipeline = MifPipeline(inproc=InprocTransport())
+        pipeline.add_mif_component(MifComponent("incomplete"))
+        with pytest.raises(ValueError, match="missing endpoints"):
+            pipeline.start()
+
+    def test_double_start_rejected(self):
+        t = InprocTransport()
+        t.listen("inproc://s2")
+        pipeline = MifPipeline(inproc=t)
+        comp = MifComponent("x")
+        pipeline.add_mif_component(comp)
+        comp.set_in_endpoint("inproc://p2")
+        comp.set_out_endpoint("inproc://s2")
+        pipeline.start()
+        try:
+            with pytest.raises(RuntimeError):
+                pipeline.start()
+        finally:
+            pipeline.stop()
+
+
+class TestMWClient:
+    def test_named_send(self):
+        t = InprocTransport()
+        registry = EndpointRegistry()
+        alice = MWClient("alice", registry, inproc=t)
+        bob = MWClient("bob", registry, inproc=t)
+        alice.serve("inproc://alice")
+        bob.serve("inproc://bob")
+        try:
+            alice.send("bob", b"hi bob")
+            assert bob.recv(timeout=2) == b"hi bob"
+            assert alice.bytes_sent == 6
+            assert bob.bytes_received == 6
+        finally:
+            alice.close()
+            bob.close()
+
+    def test_unknown_destination(self):
+        registry = EndpointRegistry()
+        client = MWClient("solo", registry, inproc=InprocTransport())
+        with pytest.raises(KeyError, match="unknown estimator"):
+            client.send("ghost", b"x")
+
+    def test_recv_timeout(self):
+        t = InprocTransport()
+        client = MWClient("x", EndpointRegistry(), inproc=t)
+        client.serve("inproc://x")
+        try:
+            with pytest.raises(TimeoutError):
+                client.recv(timeout=0.05)
+        finally:
+            client.close()
+
+
+class TestFabric:
+    def test_inproc_fabric_roundtrip(self):
+        with MiddlewareFabric(["se0", "se1"], pairs=[("se0", "se1")]) as fab:
+            fab.send("se0", "se1", b"solution")
+            assert fab.recv("se1", timeout=2) == b"solution"
+
+    def test_tcp_fabric_roundtrip(self):
+        with MiddlewareFabric(["a", "b"], pairs=[("a", "b")], use_tcp=True) as fab:
+            fab.send("a", "b", b"x" * 50_000)
+            assert len(fab.recv("b", timeout=5)) == 50_000
+
+    def test_no_pipeline_for_pair(self):
+        with MiddlewareFabric(["a", "b"], pairs=[("a", "b")]) as fab:
+            with pytest.raises(KeyError, match="no pipeline"):
+                fab.send("b", "a", b"x")
+
+    def test_relay_stats(self):
+        with MiddlewareFabric(["a", "b"], pairs=[("a", "b")]) as fab:
+            fab.send("a", "b", b"12345")
+            fab.recv("b", timeout=2)
+            time.sleep(0.05)
+            frames, nbytes = fab.relay_stats()[("a", "b")]
+            assert frames == 1
+            assert nbytes == 5
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            MiddlewareFabric(["a", "a"])
+
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(ValueError):
+            MiddlewareFabric(["a"], pairs=[("a", "zz")])
+
+    def test_state_update_through_fabric(self):
+        with MiddlewareFabric(["s0", "s1"], pairs=[("s0", "s1")]) as fab:
+            payload = pack_state_update(
+                np.array([7, 8]), np.array([1.01, 0.99]), np.array([0.05, -0.02])
+            )
+            fab.send("s0", "s1", payload)
+            ids, vm, va = unpack_state_update(fab.recv("s1", timeout=2))
+            assert ids.tolist() == [7, 8]
+            assert vm[0] == pytest.approx(1.01)

@@ -1,0 +1,325 @@
+"""Tests for the multilevel k-way partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (
+    WeightedGraph,
+    coarsen,
+    edge_cut,
+    greedy_growing,
+    heavy_edge_matching,
+    initial_partition,
+    load_imbalance,
+    migration_volume,
+    part_weights,
+    partition_kway,
+    rebalance,
+    refine_partition,
+    repartition,
+)
+
+PAPER_VWGT = np.array([14, 13, 13, 13, 13, 12, 14, 13, 13])
+PAPER_EDGES = [
+    (0, 1), (0, 3), (0, 4), (1, 2), (1, 5), (2, 5),
+    (3, 4), (3, 6), (4, 5), (4, 6), (4, 7), (6, 8),
+]
+
+
+def paper_graph():
+    ew = [PAPER_VWGT[u] + PAPER_VWGT[v] for u, v in PAPER_EDGES]
+    return WeightedGraph.from_edges(9, PAPER_EDGES, vwgt=PAPER_VWGT, ewgt=ew)
+
+
+def random_connected_graph(n, extra, seed, max_vw=8):
+    rng = np.random.default_rng(seed)
+    edges = {(int(rng.integers(0, i)), i) for i in range(1, n)}
+    while len(edges) < n - 1 + extra:
+        u, v = rng.integers(0, n, 2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    return WeightedGraph.from_edges(
+        n, sorted(edges), vwgt=rng.integers(1, max_vw, n),
+        ewgt=rng.integers(1, 10, len(edges)),
+    )
+
+
+class TestWeightedGraph:
+    def test_from_edges_basic(self):
+        g = WeightedGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.n_vertices == 3
+        assert g.n_edges == 2
+        assert g.degree(1) == 2
+
+    def test_parallel_edges_merged(self):
+        g = WeightedGraph.from_edges(2, [(0, 1), (1, 0)], ewgt=[2, 3])
+        assert g.n_edges == 1
+        pairs, w = g.edge_list()
+        assert w.tolist() == [5]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            WeightedGraph.from_edges(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            WeightedGraph.from_edges(2, [(0, 5)])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph.from_edges(2, [(0, 1)], vwgt=[-1, 1])
+
+    def test_neighbors_and_weights_aligned(self):
+        g = WeightedGraph.from_edges(3, [(0, 1), (0, 2)], ewgt=[5, 7])
+        nbrs = g.neighbors(0)
+        wts = g.edge_weights(0)
+        assert dict(zip(nbrs.tolist(), wts.tolist())) == {1: 5, 2: 7}
+
+    def test_edge_list_roundtrip(self):
+        g = paper_graph()
+        pairs, w = g.edge_list()
+        g2 = WeightedGraph.from_edges(9, pairs, vwgt=g.vwgt, ewgt=w)
+        p2, w2 = g2.edge_list()
+        assert np.array_equal(pairs, p2)
+        assert np.array_equal(w, w2)
+
+    def test_is_connected(self):
+        assert paper_graph().is_connected()
+        g = WeightedGraph.from_edges(3, [(0, 1)])
+        assert not g.is_connected()
+
+    def test_with_weights_updates_edges(self):
+        g = paper_graph()
+        g2 = g.with_weights(ewgt_map=lambda u, v: 1)
+        _, w = g2.edge_list()
+        assert np.all(w == 1)
+        assert np.array_equal(g2.vwgt, g.vwgt)
+
+    def test_paper_table1_edge_weights(self):
+        """Table I: edge weight = sum of endpoint bus counts."""
+        g = paper_graph()
+        pairs, w = g.edge_list()
+        lut = {(int(u), int(v)): int(x) for (u, v), x in zip(pairs, w)}
+        assert lut[(0, 1)] == 27
+        assert lut[(1, 2)] == 26
+        assert lut[(2, 5)] == 25
+        assert lut[(6, 8)] == 27
+
+
+class TestCoarsen:
+    def test_matching_is_symmetric(self):
+        g = random_connected_graph(50, 60, seed=1)
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        for v in range(50):
+            assert match[match[v]] == v
+
+    def test_matching_pairs_are_adjacent(self):
+        g = random_connected_graph(50, 60, seed=2)
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        for v in range(50):
+            if match[v] != v:
+                assert match[v] in g.neighbors(v)
+
+    def test_coarse_preserves_total_vwgt(self):
+        g = random_connected_graph(60, 80, seed=3)
+        lvl = coarsen(g, np.random.default_rng(0))
+        assert lvl.coarse.total_vwgt == g.total_vwgt
+
+    def test_coarse_shrinks(self):
+        g = random_connected_graph(60, 80, seed=4)
+        lvl = coarsen(g, np.random.default_rng(0))
+        assert lvl.coarse.n_vertices < g.n_vertices
+
+    def test_cmap_maps_all_vertices(self):
+        g = random_connected_graph(40, 40, seed=5)
+        lvl = coarsen(g, np.random.default_rng(0))
+        assert lvl.cmap.min() >= 0
+        assert lvl.cmap.max() == lvl.coarse.n_vertices - 1
+
+    def test_cut_preserved_under_projection(self):
+        """Edge-cut of a coarse partition equals the cut of its projection."""
+        g = random_connected_graph(60, 90, seed=6)
+        lvl = coarsen(g, np.random.default_rng(0))
+        cpart = np.random.default_rng(1).integers(0, 3, lvl.coarse.n_vertices)
+        fpart = cpart[lvl.cmap]
+        assert edge_cut(lvl.coarse, cpart) == edge_cut(g, fpart)
+
+
+class TestInitialPartition:
+    def test_all_parts_nonempty(self):
+        g = random_connected_graph(40, 40, seed=7)
+        part = initial_partition(g, 4, np.random.default_rng(0))
+        assert set(part.tolist()) == {0, 1, 2, 3}
+
+    def test_k1_trivial(self):
+        g = paper_graph()
+        part = initial_partition(g, 1, np.random.default_rng(0))
+        assert np.all(part == 0)
+
+    def test_k_ge_n(self):
+        g = WeightedGraph.from_edges(3, [(0, 1), (1, 2)])
+        part = initial_partition(g, 5, np.random.default_rng(0))
+        assert len(set(part.tolist())) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            initial_partition(paper_graph(), 0, np.random.default_rng(0))
+
+
+class TestRefine:
+    def test_never_worsens_cut_without_anchor(self):
+        g = random_connected_graph(50, 80, seed=8)
+        rng = np.random.default_rng(0)
+        part = rng.integers(0, 3, 50)
+        part = rebalance(g, part, 3, tol=1.2, rng=rng)
+        before = edge_cut(g, part)
+        refined = refine_partition(g, part, 3, tol=1.2, rng=rng)
+        assert edge_cut(g, refined) <= before
+
+    def test_respects_balance_limit(self):
+        g = random_connected_graph(60, 80, seed=9, max_vw=3)
+        rng = np.random.default_rng(0)
+        part = partition_kway(g, 3, tol=1.05, seed=0).part
+        w = part_weights(g, part, 3)
+        assert w.max() <= 1.05 * g.total_vwgt / 3 + g.vwgt.max()
+
+    def test_rebalance_fixes_overweight(self):
+        g = random_connected_graph(40, 50, seed=10, max_vw=2)
+        part = np.zeros(40, dtype=np.int64)  # everything on part 0
+        fixed = rebalance(g, part, 4, tol=1.10)
+        assert load_imbalance(g, fixed, 4) <= 1.35  # far better than 4.0
+
+    def test_anchor_discourages_migration(self):
+        g = random_connected_graph(60, 100, seed=11)
+        base = partition_kway(g, 3, seed=0).part
+        rng = np.random.default_rng(1)
+        noisy = base.copy()
+        flip = rng.choice(60, size=10, replace=False)
+        noisy[flip] = rng.integers(0, 3, 10)
+        sticky = refine_partition(g, noisy, 3, anchor=base, migration_factor=10.0,
+                                  rng=np.random.default_rng(2))
+        loose = refine_partition(g, noisy, 3, rng=np.random.default_rng(2))
+        assert migration_volume(g, base, sticky) <= migration_volume(g, base, loose)
+
+
+class TestPartitionKway:
+    def test_paper_graph_three_clusters(self):
+        """Fig. 4 analogue: 9 subsystems onto 3 clusters, near-balanced."""
+        g = paper_graph().with_weights(ewgt_map=lambda u, v: 1)
+        res = partition_kway(g, 3, seed=0)
+        assert res.k == 3
+        sizes = [len(p) for p in res.parts()]
+        assert sorted(sizes) == [3, 3, 3]
+        # paper reports 1.035; anything at or under METIS' 1.05 passes
+        assert res.imbalance <= 1.06
+
+    def test_partition_is_complete(self):
+        g = random_connected_graph(80, 120, seed=12)
+        res = partition_kway(g, 5, seed=0)
+        assert len(res.part) == 80
+        assert set(res.part.tolist()) <= set(range(5))
+
+    def test_beats_random_partition(self):
+        g = random_connected_graph(200, 400, seed=13)
+        res = partition_kway(g, 4, seed=0)
+        rng = np.random.default_rng(99)
+        random_cuts = [edge_cut(g, rng.integers(0, 4, 200)) for _ in range(5)]
+        assert res.edge_cut < min(random_cuts)
+
+    def test_deterministic_by_seed(self):
+        g = random_connected_graph(80, 120, seed=14)
+        a = partition_kway(g, 4, seed=7)
+        b = partition_kway(g, 4, seed=7)
+        assert np.array_equal(a.part, b.part)
+
+    def test_k1(self):
+        g = paper_graph()
+        res = partition_kway(g, 1)
+        assert res.edge_cut == 0
+        assert res.imbalance == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        g = WeightedGraph.from_edges(0, np.zeros((0, 2)))
+        res = partition_kway(g, 3)
+        assert len(res.part) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            partition_kway(paper_graph(), 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(10, 120),
+        k=st.integers(2, 6),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_valid_partitions(self, n, k, seed):
+        """Property: output is always a complete partition within a sane
+        balance envelope, regardless of graph shape."""
+        g = random_connected_graph(n, n // 2, seed=seed)
+        res = partition_kway(g, k, seed=seed)
+        assert len(res.part) == n
+        assert res.part.min() >= 0 and res.part.max() < k
+        assert edge_cut(g, res.part) == res.edge_cut
+        # imbalance never exceeds tol by more than one max vertex weight
+        limit = 1.05 * g.total_vwgt / k + g.vwgt.max()
+        assert part_weights(g, res.part, k).max() <= limit
+
+
+class TestRepartition:
+    def test_zero_change_when_weights_unchanged(self):
+        g = paper_graph().with_weights(ewgt_map=lambda u, v: 1)
+        base = partition_kway(g, 3, seed=0)
+        res = repartition(g, 3, base.part, migration_factor=5.0, seed=0)
+        assert migration_volume(g, base.part, res.part) == 0
+
+    def test_adapts_to_new_weights(self):
+        """Fig. 4 → Fig. 5 analogue: switching on communication weights may
+        move a subsystem or two but must stay balanced."""
+        g_step1 = paper_graph().with_weights(ewgt_map=lambda u, v: 1)
+        base = partition_kway(g_step1, 3, seed=0)
+        g_step2 = paper_graph()  # full Table I edge weights
+        res = repartition(g_step2, 3, base.part, seed=0)
+        assert res.imbalance <= 1.12  # paper's step-2 value is 1.079
+        moved = migration_volume(g_step2, base.part, res.part)
+        assert moved <= g_step2.total_vwgt // 3  # small migration
+
+    def test_rebalances_after_weight_shift(self):
+        g = random_connected_graph(50, 80, seed=15)
+        base = partition_kway(g, 3, seed=0).part
+        # inflate weights of partition-0 vertices: the old mapping overloads
+        new_vwgt = g.vwgt.copy()
+        new_vwgt[base == 0] *= 5
+        g2 = g.with_weights(vwgt=new_vwgt)
+        res = repartition(g2, 3, base, seed=0)
+        assert load_imbalance(g2, res.part, 3) < load_imbalance(g2, base, 3)
+
+    def test_old_part_validated(self):
+        g = paper_graph()
+        with pytest.raises(ValueError):
+            repartition(g, 3, np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            repartition(g, 2, np.full(9, 5))
+
+
+class TestMetrics:
+    def test_edge_cut_zero_single_part(self):
+        g = paper_graph()
+        assert edge_cut(g, np.zeros(9, dtype=int)) == 0
+
+    def test_edge_cut_counts_weights(self):
+        g = WeightedGraph.from_edges(2, [(0, 1)], ewgt=[7])
+        assert edge_cut(g, np.array([0, 1])) == 7
+
+    def test_migration_volume(self):
+        g = paper_graph()
+        a = np.zeros(9, dtype=int)
+        b = a.copy()
+        b[0] = 1
+        assert migration_volume(g, a, b) == 14
+
+    def test_imbalance_perfect(self):
+        g = WeightedGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert load_imbalance(g, np.array([0, 0, 1, 1]), 2) == pytest.approx(1.0)
