@@ -1,0 +1,168 @@
+"""Record headline benchmark numbers to a JSON artifact.
+
+Runs the two gating benchmarks of PR 1 — E8 (Figure 6, one end-to-end DSE
+cycle on the architecture) and A1 (the PCG solver ablation on the IEEE-118
+gain system) — plus the hot-path seed-vs-optimised comparison, and writes
+the numbers to ``BENCH_pr1.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/record_bench.py
+
+The artifact pins the acceptance criterion of the hot-path overhaul: the
+cached + warm-started DSE must be at least 1.5× faster than the seed-style
+cold path while matching its state to ≤ 1e-10.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import ArchitecturePrototype, DseSession  # noqa: E402
+from repro.dse import (  # noqa: E402
+    DistributedStateEstimator,
+    decompose,
+    dse_pmu_placement,
+)
+from repro.estimation import build_gain, pcg_solve  # noqa: E402
+from repro.estimation.wls import WlsEstimator  # noqa: E402
+from repro.grid import run_ac_power_flow  # noqa: E402
+from repro.grid.cases import case118  # noqa: E402
+from repro.measurements import full_placement, generate_measurements  # noqa: E402
+
+OUT = ROOT / "BENCH_pr1.json"
+
+
+def _setup118():
+    net = case118()
+    pf = run_ac_power_flow(net)
+    dec = decompose(net, 9, seed=0)
+    rng = np.random.default_rng(0)
+    plac = full_placement(net).merged_with(dse_pmu_placement(dec))
+    ms = generate_measurements(net, plac, pf, rng=rng)
+    return net, pf, dec, ms
+
+
+def bench_hotpath(net, pf, dec, ms, repeats=3) -> dict:
+    """Seed-style cold DSE vs the cached + warm-started hot path."""
+
+    def run(**kw):
+        best, res = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = DistributedStateEstimator(dec, ms, **kw).run()
+            best = min(best, time.perf_counter() - t0)
+        return best, res
+
+    t_seed, r_seed = run(reuse_structures=False, warm_start=False)
+    t_hot, r_hot = run(reuse_structures=True, warm_start=True)
+    return {
+        "case": "ieee118",
+        "n_bus": net.n_bus,
+        "n_subsystems": dec.m,
+        "n_measurements": len(ms),
+        "rounds": r_hot.rounds,
+        "seed_time_s": t_seed,
+        "optimized_time_s": t_hot,
+        "speedup": t_seed / t_hot,
+        "max_abs_dVm": float(np.abs(r_hot.Vm - r_seed.Vm).max()),
+        "max_abs_dVa": float(np.abs(r_hot.Va - r_seed.Va).max()),
+    }
+
+
+def bench_fig6(net, pf, repeats=3) -> dict:
+    """E8 — one full DSE cycle (Figure 6) on the architecture prototype."""
+    arch = ArchitecturePrototype.assemble(net, m_subsystems=9, seed=0)
+    plac = full_placement(net).merged_with(dse_pmu_placement(arch.dec))
+    rng = np.random.default_rng(0)
+    mset = generate_measurements(net, plac, pf, rng=rng)
+    best = None
+    for _ in range(repeats):
+        session = DseSession(arch)
+        report = session.process_frame(mset, truth=(pf.Vm, pf.Va))
+        if best is None or report.wall_time < best.wall_time:
+            best = report
+    arch.close()
+    tm = best.timings
+    return {
+        "case": "ieee118",
+        "rounds": best.rounds,
+        "wall_time_s": best.wall_time,
+        "sim_step1_s": tm.step1,
+        "sim_redistribution_s": tm.redistribution,
+        "sim_exchange_s": tm.exchange,
+        "sim_step2_s": tm.step2,
+        "sim_total_s": tm.total,
+        "bytes_exchanged": best.bytes_exchanged,
+        "vm_rmse_vs_truth": best.vm_rmse_vs_truth,
+    }
+
+
+def bench_pcg_ablation(net, pf, ms) -> dict:
+    """A1 — solver iteration counts on the IEEE-118 gain system."""
+    est = WlsEstimator(net, ms)
+    H = est.model.jacobian(pf.Vm, pf.Va).tocsc()[:, est._keep]
+    w = ms.weights
+    G = build_gain(H, w)
+    rhs = H.T @ (w * (ms.z - est.model.h(pf.Vm, pf.Va)))
+    out = {}
+    for name, prec in (
+        ("cg-none", "none"),
+        ("pcg-jacobi", "jacobi"),
+        ("pcg-ichol", "ichol"),
+    ):
+        t0 = time.perf_counter()
+        res = pcg_solve(G, rhs, preconditioner=prec, tol=1e-10, max_iter=5000)
+        out[name] = {
+            "iterations": res.iterations,
+            "converged": bool(res.converged),
+            "time_s": time.perf_counter() - t0,
+        }
+    return out
+
+
+def main() -> int:
+    net, pf, dec, ms = _setup118()
+
+    print("running hot-path comparison (seed vs optimised) ...")
+    hotpath = bench_hotpath(net, pf, dec, ms)
+    print(f"  seed {hotpath['seed_time_s'] * 1e3:.1f} ms  "
+          f"optimised {hotpath['optimized_time_s'] * 1e3:.1f} ms  "
+          f"speedup {hotpath['speedup']:.2f}x")
+
+    print("running E8 (Figure 6 end-to-end cycle) ...")
+    fig6 = bench_fig6(net, pf)
+    print(f"  wall {fig6['wall_time_s'] * 1e3:.1f} ms, "
+          f"sim total {fig6['sim_total_s'] * 1e3:.2f} ms")
+
+    print("running A1 (PCG solver ablation) ...")
+    pcg = bench_pcg_ablation(net, pf, ms)
+    for name, rec in pcg.items():
+        print(f"  {name:>12}: {rec['iterations']} iterations")
+
+    payload = {
+        "pr": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "hotpath_dse": hotpath,
+        "fig6_end_to_end": fig6,
+        "pcg_solver_ablation": pcg,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT}")
+
+    ok = hotpath["speedup"] >= 1.5 and hotpath["max_abs_dVm"] < 1e-10
+    if not ok:
+        print("ACCEPTANCE FAILED: speedup < 1.5x or parity worse than 1e-10")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 test suite + quickstart smoke run.
+#
+#   scripts/verify.sh            # full tier-1 pytest + quickstart example
+#   scripts/verify.sh --fast     # quickstart smoke only
+#
+# Mirrors the tier-1 gate in ROADMAP.md; run it before every commit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== tier-1 test suite =="
+    python -m pytest -x -q
+fi
+
+echo "== quickstart smoke =="
+python examples/quickstart.py
+
+echo "verify: OK"

@@ -28,6 +28,9 @@ cluster
 middleware
     MeDICi-style pipeline middleware: URL endpoints, TCP / in-process
     transports, relay pipelines and the client API.
+parallel
+    Pluggable subsystem executors (serial / thread pool) shared by the DSE
+    fan-out and the parallel contingency analyzer.
 core
     The paper's contribution: graph-weight estimation, the mapping method
     that places subsystems onto clusters for DSE Step 1 / Step 2, and the
@@ -44,5 +47,6 @@ __all__ = [
     "dse",
     "cluster",
     "middleware",
+    "parallel",
     "core",
 ]

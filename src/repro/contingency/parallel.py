@@ -24,6 +24,7 @@ import numpy as np
 
 from ..cluster.simevent import SimEngine, Timeout
 from ..cluster.topology import ClusterTopology
+from ..parallel import SubsystemExecutor, ThreadPoolBackend, chunked
 from .analysis import ContingencyAnalyzer, ContingencyResult
 from .screening import Contingency
 
@@ -59,52 +60,64 @@ def run_parallel_threads(
     *,
     n_workers: int = 4,
     scheme: str = "dynamic",
+    executor: SubsystemExecutor | None = None,
 ) -> ParallelAnalysisReport:
     """Analyse contingencies on real threads.
 
-    ``scheme="static"`` pre-splits the list into equal chunks;
-    ``scheme="dynamic"`` uses the shared-counter work queue.
+    ``scheme="static"`` pre-splits the list into equal round-robin chunks,
+    one per worker; ``scheme="dynamic"`` submits every case individually to
+    the pool's shared work queue (the counter-based scheme: a free worker
+    grabs the next case).  An existing
+    :class:`~repro.parallel.SubsystemExecutor` can be passed to share a
+    pool with the DSE session; otherwise a :class:`ThreadPoolBackend` with
+    ``n_workers`` threads is created for the call.
     """
     import time
 
     if scheme not in ("static", "dynamic"):
         raise ValueError("scheme must be 'static' or 'dynamic'")
-    if n_workers < 1:
-        raise ValueError("n_workers must be >= 1")
+    own_pool = executor is None
+    if own_pool:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        executor = ThreadPoolBackend(n_workers)
+    else:
+        n_workers = executor.n_workers
 
     n = len(contingencies)
     results: list[ContingencyResult | None] = [None] * n
     cases = [0] * n_workers
     busy = [0.0] * n_workers
-    counter = {"next": 0}
     lock = threading.Lock()
 
-    def dynamic_worker(w: int):
-        while True:
+    def run_case(i: int) -> None:
+        w = executor.worker_index()
+        t0 = time.perf_counter()
+        results[i] = analyzer.analyze(contingencies[i])
+        dt = time.perf_counter() - t0
+        with lock:
+            busy[w] += dt
+            cases[w] += 1
+
+    def run_chunk(job: tuple[int, list[int]]) -> None:
+        w, idxs = job
+        for i in idxs:
+            t0 = time.perf_counter()
+            results[i] = analyzer.analyze(contingencies[i])
+            dt = time.perf_counter() - t0
             with lock:
-                i = counter["next"]
-                if i >= n:
-                    return
-                counter["next"] = i + 1
-            t0 = time.perf_counter()
-            results[i] = analyzer.analyze(contingencies[i])
-            busy[w] += time.perf_counter() - t0
-            cases[w] += 1
+                busy[w] += dt
+                cases[w] += 1
 
-    def static_worker(w: int):
-        for i in range(w, n, n_workers):
-            t0 = time.perf_counter()
-            results[i] = analyzer.analyze(contingencies[i])
-            busy[w] += time.perf_counter() - t0
-            cases[w] += 1
-
-    target = dynamic_worker if scheme == "dynamic" else static_worker
     t0 = time.perf_counter()
-    threads = [threading.Thread(target=target, args=(w,)) for w in range(n_workers)]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    try:
+        if scheme == "dynamic":
+            executor.map(run_case, range(n))
+        else:
+            executor.map(run_chunk, list(enumerate(chunked(range(n), n_workers))))
+    finally:
+        if own_pool:
+            executor.shutdown()
     makespan = time.perf_counter() - t0
 
     return ParallelAnalysisReport(

@@ -81,6 +81,11 @@ class LiveDseRuntime:
         Per-message receive timeout; a site that misses a neighbour's
         update records an error and re-uses its last known values, so a
         slow or dead peer degrades accuracy instead of deadlocking.
+    use_cache:
+        Reuse each site's estimators (cached Jacobian patterns,
+        factorization orderings, merged pseudo structures) across Step-2
+        rounds; rounds where a neighbour timed out fall back to a freshly
+        built estimator over the partial pseudo set.
     """
 
     def __init__(
@@ -92,16 +97,20 @@ class LiveDseRuntime:
         solver: str = "lu",
         sensitivity_threshold: float = 0.5,
         recv_timeout: float = 10.0,
+        use_cache: bool = True,
     ):
-        # Reuse the in-process DSE's subproblem construction and checks.
+        # Reuse the in-process DSE's subproblem construction and checks
+        # (including its per-subsystem estimator caches).
         self._dse = DistributedStateEstimator(
             dec, mset, solver=solver,
             sensitivity_threshold=sensitivity_threshold,
+            reuse_structures=use_cache,
         )
         self.dec = dec
         self.solver = solver
         self.recv_timeout = recv_timeout
         self.use_tcp = use_tcp
+        self.use_cache = use_cache
 
     # ------------------------------------------------------------------
     def run(self, *, rounds: int | None = None, tol: float = 1e-8) -> LiveDseResult:
@@ -146,10 +155,16 @@ class LiveDseRuntime:
             va_loc = {int(b): 0.0 for b in own}
             known_vm: dict[int, float] = {}
             known_va: dict[int, float] = {}
+            prev2 = None  # previous round's extended solution (warm start)
 
             # ---- Step 1 ----
             t0 = time.perf_counter()
-            res1 = WlsEstimator(subnet1, ms1, solver=self.solver).estimate(tol=tol)
+            est1 = (
+                self._dse._est1[s]
+                if self.use_cache
+                else WlsEstimator(subnet1, ms1, solver=self.solver)
+            )
+            res1 = est1.estimate(tol=tol)
             st.step1_time = time.perf_counter() - t0
             for i, b in enumerate(own):
                 vm_loc[int(b)] = float(res1.Vm[i])
@@ -189,30 +204,54 @@ class LiveDseRuntime:
 
                 # pseudo measurements at the external boundary buses we know
                 ext_known = [int(b) for b in ext if int(b) in known_vm]
-                from ..dse.pseudo import pseudo_measurements
+                if self.use_cache and len(ext_known) == len(ext):
+                    # Full neighbour coverage: refill the cached merged
+                    # structure's pseudo values instead of rebuilding.
+                    est2, z_tmpl, rows_vm, rows_va, src = (
+                        self._dse._step2_cache[s]
+                    )
+                    z2 = z_tmpl.copy()
+                    z2[rows_vm] = [known_vm[int(b)] for b in src]
+                    z2[rows_va] = [known_va[int(b)] for b in src]
+                else:
+                    from ..dse.pseudo import pseudo_measurements
 
-                pseudo = pseudo_measurements(
-                    bmap2[np.array(ext_known, dtype=np.int64)]
-                    if ext_known else np.zeros(0, np.int64),
-                    np.array([known_vm[b] for b in ext_known]),
-                    np.array([known_va[b] for b in ext_known]),
-                )
-                full = ms2.merged_with(pseudo)
+                    pseudo = pseudo_measurements(
+                        bmap2[np.array(ext_known, dtype=np.int64)]
+                        if ext_known else np.zeros(0, np.int64),
+                        np.array([known_vm[b] for b in ext_known]),
+                        np.array([known_va[b] for b in ext_known]),
+                    )
+                    est2 = WlsEstimator(
+                        subnet2, ms2.merged_with(pseudo), solver=self.solver
+                    )
+                    z2 = None
 
-                x0_vm = np.ones(len(xbuses))
-                x0_va = np.zeros(len(xbuses))
-                for i, b in enumerate(xbuses):
-                    b = int(b)
-                    if b in vm_loc:
-                        x0_vm[i], x0_va[i] = vm_loc[b], va_loc[b]
-                    elif b in known_vm:
-                        x0_vm[i], x0_va[i] = known_vm[b], known_va[b]
+                if prev2 is not None:
+                    # Warm start from the previous round's extended solve,
+                    # with the external boundary refreshed from the latest
+                    # neighbour publications — the same schedule as
+                    # DistributedStateEstimator's warm_start path.
+                    x0_vm = prev2.Vm.copy()
+                    x0_va = prev2.Va.copy()
+                    if ext_known:
+                        idx = bmap2[np.array(ext_known, dtype=np.int64)]
+                        x0_vm[idx] = [known_vm[b] for b in ext_known]
+                        x0_va[idx] = [known_va[b] for b in ext_known]
+                else:
+                    x0_vm = np.ones(len(xbuses))
+                    x0_va = np.zeros(len(xbuses))
+                    for i, b in enumerate(xbuses):
+                        b = int(b)
+                        if b in vm_loc:
+                            x0_vm[i], x0_va[i] = vm_loc[b], va_loc[b]
+                        elif b in known_vm:
+                            x0_vm[i], x0_va[i] = known_vm[b], known_va[b]
 
                 t0 = time.perf_counter()
-                res2 = WlsEstimator(subnet2, full, solver=self.solver).estimate(
-                    x0=(x0_vm, x0_va), tol=tol
-                )
+                res2 = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
                 st.step2_times.append(time.perf_counter() - t0)
+                prev2 = res2
 
                 scope = self._dse.exchange_sets[s]
                 local = bmap2[scope]

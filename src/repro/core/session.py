@@ -22,6 +22,7 @@ from ..dse.algorithm import BYTES_PER_EXCHANGED_BUS, DistributedStateEstimator
 from ..dse.sensitivity import exchange_bus_sets
 from ..measurements.types import MeasurementSet
 from ..middleware.message import pack_state_update
+from ..parallel import make_executor
 from .architecture import ArchitecturePrototype
 from .noise import NoiseLevelEstimator
 from .telemetry import FrameReport, PhaseBreakdown, Timer
@@ -40,6 +41,13 @@ class DseSession:
         Local WLS solver for every subsystem estimator.
     sensitivity_threshold:
         Threshold for the sensitive-internal-bus analysis.
+    executor:
+        Fan-out backend for the per-subsystem solves (see
+        :class:`repro.parallel.SubsystemExecutor`); shared by every frame's
+        DSE run.
+    reuse_structures, warm_start:
+        Hot-path knobs forwarded to
+        :class:`~repro.dse.algorithm.DistributedStateEstimator`.
     """
 
     def __init__(
@@ -49,6 +57,9 @@ class DseSession:
         solver: str = "lu",
         sensitivity_threshold: float = 0.5,
         bad_data_policy: str = "off",
+        executor=None,
+        reuse_structures: bool = True,
+        warm_start: bool = True,
     ):
         if bad_data_policy not in ("off", "detect", "identify"):
             raise ValueError("bad_data_policy must be off|detect|identify")
@@ -56,6 +67,9 @@ class DseSession:
         self.solver = solver
         self.sensitivity_threshold = sensitivity_threshold
         self.bad_data_policy = bad_data_policy
+        self.executor = make_executor(executor)
+        self.reuse_structures = reuse_structures
+        self.warm_start = warm_start
         self.noise_estimator = NoiseLevelEstimator(arch.net)
         self.exchange_sets = exchange_bus_sets(
             arch.dec, threshold=sensitivity_threshold
@@ -111,6 +125,9 @@ class DseSession:
                 mset,
                 solver=self.solver,
                 sensitivity_threshold=self.sensitivity_threshold,
+                executor=self.executor,
+                reuse_structures=self.reuse_structures,
+                warm_start=self.warm_start,
             )
             result = dse.run(rounds=rounds, x0=warm)
 

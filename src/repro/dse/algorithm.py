@@ -27,6 +27,7 @@ import numpy as np
 from ..estimation.results import EstimationResult
 from ..estimation.wls import WlsEstimator
 from ..measurements.types import MeasType, MeasurementSet
+from ..parallel import SubsystemExecutor, make_executor
 from .decomposition import Decomposition, extract_subnetwork
 from .pseudo import (
     assign_measurements,
@@ -111,6 +112,24 @@ class DistributedStateEstimator:
         solve — an extension).
     auto_anchor:
         Verify every subsystem has at least one synchronized angle channel.
+    executor:
+        How per-subsystem solves fan out within Step 1 and within each
+        Step-2 round: ``None``/``"serial"``, ``"threads"``, an ``int``
+        worker count, or a :class:`~repro.parallel.SubsystemExecutor`.
+        Results are bit-identical across executors — each round snapshots
+        the published state before fanning out and applies updates in
+        subsystem order afterwards.
+    reuse_structures:
+        Cache the extended subnetworks, local estimators (with their
+        Jacobian patterns and factorization orderings) and merged
+        pseudo-measurement structures across Step-2 rounds and runs,
+        instead of rebuilding them every round (the seed behaviour,
+        retained as the ``False`` reference path).
+    warm_start:
+        Start each Step-2 re-evaluation from the subsystem's previous-round
+        extended solution (external boundary values refreshed from the
+        neighbours' latest publications) rather than from the Step-1
+        publication alone.
     """
 
     def __init__(
@@ -122,6 +141,9 @@ class DistributedStateEstimator:
         sensitivity_threshold: float = 0.5,
         update_scope: str = "exchange",
         auto_anchor: bool = True,
+        executor: SubsystemExecutor | str | int | None = None,
+        reuse_structures: bool = True,
+        warm_start: bool = True,
     ):
         if update_scope not in ("exchange", "all"):
             raise ValueError("update_scope must be 'exchange' or 'all'")
@@ -129,6 +151,9 @@ class DistributedStateEstimator:
         self.mset = mset
         self.solver = solver
         self.update_scope = update_scope
+        self.executor = make_executor(executor)
+        self.reuse_structures = reuse_structures
+        self.warm_start = warm_start
         self.assignment = assign_measurements(dec, mset)
         self.exchange_sets = exchange_bus_sets(dec, threshold=sensitivity_threshold)
 
@@ -153,6 +178,8 @@ class DistributedStateEstimator:
         net = dec.net
         self.sub1 = {}
         self.sub2 = {}
+        self._est1: dict[int, WlsEstimator] = {}
+        self._step2_cache: dict[int, tuple] = {}
         for s in range(dec.m):
             own = dec.buses(s)
             internal = dec.internal_branches(s)
@@ -176,6 +203,26 @@ class DistributedStateEstimator:
             )
             ms2 = localize_measurements(self.mset, rows2, bmap2, brmap2)
             self.sub2[s] = (subnet2, bmap2, xbuses, ext, ms2)
+
+            if not self.reuse_structures:
+                continue
+            # Persistent per-subsystem estimators: Step-2 pseudo
+            # measurements have a fixed structure (V/θ pairs at the
+            # external boundary buses), so the merged measurement set,
+            # the estimator and all of its cached structures are built
+            # once and only the pseudo *values* change per round.
+            self._est1[s] = WlsEstimator(subnet1, ms1, solver=self.solver)
+            ext_local = bmap2[ext]
+            pseudo0 = pseudo_measurements(
+                ext_local, np.ones(len(ext)), np.zeros(len(ext))
+            )
+            full0, _, rows_pseudo = ms2.merged_with_positions(pseudo0)
+            order = np.argsort(ext_local, kind="stable")
+            rows_vm = rows_pseudo[pseudo0.rows(MeasType.V_MAG)]
+            rows_va = rows_pseudo[pseudo0.rows(MeasType.PMU_VA)]
+            src = ext[order]  # global buses aligned with the sorted rows
+            est2 = WlsEstimator(subnet2, full0, solver=self.solver)
+            self._step2_cache[s] = (est2, full0.z, rows_vm, rows_va, src)
 
     # ------------------------------------------------------------------
     def run(
@@ -212,41 +259,82 @@ class DistributedStateEstimator:
         Va = np.zeros(net.n_bus)
 
         # ---- DSE Step 1: independent local estimations ----
-        for s in range(dec.m):
+        def step1(s: int):
             subnet1, _, own, ms1 = self.sub1[s]
             t0 = time.perf_counter()
-            est = WlsEstimator(subnet1, ms1, solver=self.solver)
+            if self.reuse_structures:
+                est = self._est1[s]
+            else:
+                est = WlsEstimator(
+                    subnet1, ms1, solver=self.solver, use_cache=False
+                )
             local_x0 = None
             if x0 is not None:
                 local_x0 = (x0[0][own].copy(), x0[1][own].copy())
             res = est.estimate(tol=tol, x0=local_x0)
-            records[s].step1_time = time.perf_counter() - t0
+            return res, time.perf_counter() - t0
+
+        for s, (res, dt) in enumerate(self.executor.map(step1, range(dec.m))):
+            own = dec.buses(s)
+            records[s].step1_time = dt
             records[s].step1_result = res
             Vm[own] = res.Vm
             Va[own] = res.Va
 
         # ---- DSE Step 2 rounds: exchange + re-evaluate ----
+        # Each round snapshots the published state, fans the per-subsystem
+        # re-evaluations out through the executor (they only read the
+        # snapshot) and applies the disjoint per-subsystem updates in
+        # subsystem order — making serial and parallel execution
+        # bit-identical.
+        last2: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         round_deltas: list[float] = []
         for _ in range(rounds):
             published_vm = Vm.copy()
             published_va = Va.copy()
-            delta = 0.0
-            for s in range(dec.m):
+
+            def step2(s: int):
                 subnet2, bmap2, xbuses, ext, ms2 = self.sub2[s]
-                # Pseudo measurements: neighbours' published solutions at the
-                # external boundary buses in our extended model.
-                ext_local = bmap2[ext]
-                pseudo = pseudo_measurements(
-                    ext_local, published_vm[ext], published_va[ext]
-                )
-                full = ms2.merged_with(pseudo)
+                if self.reuse_structures:
+                    est, z_tmpl, rows_vm, rows_va, src = self._step2_cache[s]
+                    z = z_tmpl.copy()
+                    z[rows_vm] = published_vm[src]
+                    z[rows_va] = published_va[src]
+                else:
+                    # Reference path: rebuild the pseudo measurements, the
+                    # merged set and the estimator from scratch.
+                    ext_local = bmap2[ext]
+                    pseudo = pseudo_measurements(
+                        ext_local, published_vm[ext], published_va[ext]
+                    )
+                    est = WlsEstimator(
+                        subnet2,
+                        ms2.merged_with(pseudo),
+                        solver=self.solver,
+                        use_cache=False,
+                    )
+                    z = None
+
+                if self.warm_start and s in last2:
+                    x0_vm, x0_va = last2[s]
+                    x0_vm, x0_va = x0_vm.copy(), x0_va.copy()
+                    ext_local = bmap2[ext]
+                    x0_vm[ext_local] = published_vm[ext]
+                    x0_va[ext_local] = published_va[ext]
+                else:
+                    x0_vm = published_vm[xbuses]
+                    x0_va = published_va[xbuses]
 
                 t0 = time.perf_counter()
-                est = WlsEstimator(subnet2, full, solver=self.solver)
-                x0 = (published_vm[xbuses], published_va[xbuses])
-                res = est.estimate(x0=x0, tol=tol)
-                dt = time.perf_counter() - t0
+                res = est.estimate(x0=(x0_vm, x0_va), tol=tol, z=z)
+                return res, time.perf_counter() - t0
 
+            results = self.executor.map(step2, range(dec.m))
+
+            delta = 0.0
+            for s, (res, dt) in enumerate(results):
+                _, bmap2, xbuses, ext, _ = self.sub2[s]
+                last2[s] = (res.Vm, res.Va)
                 rec = records[s]
                 rec.step2_times.append(dt)
                 rec.step2_results.append(res)

@@ -24,7 +24,7 @@ from .pcg import (
     pcg_solve,
 )
 from .results import EstimationResult
-from .solvers import GainSolveError, build_gain, solve_normal_equations
+from .solvers import GainSolveError, GainSolver, build_gain, solve_normal_equations
 from .wls import EstimationError, WlsEstimator, estimate_state
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "EstimationError",
     "EstimationResult",
     "GainSolveError",
+    "GainSolver",
     "build_gain",
     "solve_normal_equations",
     "PcgResult",

@@ -8,6 +8,13 @@ Three interchangeable strategies are provided:
 - ``"pcg"`` — preconditioned conjugate gradient (the paper's HPC solver).
 - ``"lsqr"`` — orthogonal factorisation of the weighted Jacobian, avoiding
   the squared condition number of the normal equations.
+
+Two entry points share one implementation: :func:`solve_normal_equations`
+is the stateless one-shot call; :class:`GainSolver` keeps state across
+repeated solves with the *same sparsity pattern* (the Gauss-Newton loop),
+reusing the weighted-Jacobian workspace and — for ``"lu"`` — the
+fill-reducing column ordering computed by the first symbolic analysis, so
+later iterations skip the ordering phase and only refactor numerics.
 """
 
 from __future__ import annotations
@@ -18,17 +25,121 @@ import scipy.sparse.linalg as spla
 
 from .pcg import pcg_solve
 
-__all__ = ["GainSolveError", "build_gain", "solve_normal_equations"]
+__all__ = [
+    "GainSolveError",
+    "GainSolver",
+    "build_gain",
+    "solve_normal_equations",
+]
 
 
 class GainSolveError(RuntimeError):
     """Raised when a normal-equation solve fails (singular / not SPD)."""
 
 
+def _weighted_copy(H: sp.csc_matrix, scale: np.ndarray) -> sp.csc_matrix:
+    """``diag(scale) @ H`` built by scaling the CSC data in place of a
+    generic sparse multiply (no COO round-trip, pattern shared with H)."""
+    return sp.csc_matrix(
+        (H.data * scale[H.indices], H.indices, H.indptr),
+        shape=H.shape,
+    )
+
+
 def build_gain(H: sp.spmatrix, weights: np.ndarray) -> sp.csc_matrix:
     """Gain matrix ``G = Hᵀ W H`` (CSC)."""
-    Hw = H.multiply(weights[:, None]).tocsc()
-    return (H.T @ Hw).tocsc()
+    Hc = H.tocsc()
+    Hw = _weighted_copy(Hc, weights)
+    return (Hc.T @ Hw).tocsc()
+
+
+class GainSolver:
+    """Stateful normal-equation solver for repeated same-pattern solves.
+
+    Parameters mirror :func:`solve_normal_equations`.  The solver is safe
+    to reuse across Gauss-Newton iterations and across estimate() calls of
+    the same estimator; if the Jacobian pattern changes between calls the
+    cached structure is discarded and rebuilt transparently.
+    """
+
+    def __init__(
+        self,
+        method: str = "lu",
+        *,
+        pcg_preconditioner="jacobi",
+        pcg_tol: float = 1e-12,
+    ):
+        self.method = method
+        self.pcg_preconditioner = pcg_preconditioner
+        self.pcg_tol = pcg_tol
+        self._perm_c: np.ndarray | None = None
+        self._pattern: tuple | None = None
+
+    # ------------------------------------------------------------------
+    def _pattern_matches(self, G: sp.csc_matrix) -> bool:
+        pat = self._pattern
+        return (
+            pat is not None
+            and pat[0] == G.shape
+            and pat[1] == G.nnz
+            and np.array_equal(pat[2], G.indptr)
+            and np.array_equal(pat[3], G.indices)
+        )
+
+    def _solve_lu(self, G: sp.csc_matrix, rhs: np.ndarray) -> np.ndarray:
+        try:
+            if self._perm_c is not None and self._pattern_matches(G):
+                # Same pattern as the analysed matrix: apply the cached
+                # fill-reducing ordering up front and run SuperLU with
+                # NATURAL column order, skipping the ordering phase.
+                perm = self._perm_c
+                lu = spla.splu(G[:, perm], permc_spec="NATURAL")
+                y = lu.solve(rhs)
+                dx = np.empty_like(y)
+                dx[perm] = y
+                return dx
+            lu = spla.splu(G)
+        except RuntimeError as exc:
+            raise GainSolveError(f"gain matrix is singular: {exc}") from exc
+        self._perm_c = lu.perm_c.copy()
+        self._pattern = (G.shape, G.nnz, G.indptr.copy(), G.indices.copy())
+        return lu.solve(rhs)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, H: sp.spmatrix, weights: np.ndarray, r: np.ndarray
+    ) -> np.ndarray:
+        """Solve ``(Hᵀ W H) dx = Hᵀ W r`` for the Gauss-Newton step."""
+        if self.method not in ("lu", "pcg", "lsqr"):
+            raise ValueError(f"unknown method {self.method!r}")
+        Hc = H.tocsc()
+        if self.method == "lsqr":
+            sw = np.sqrt(weights)
+            Hs = _weighted_copy(Hc, sw)
+            out = spla.lsqr(Hs, sw * r, atol=1e-14, btol=1e-14)
+            dx = out[0]
+            if not np.all(np.isfinite(dx)):
+                raise GainSolveError("lsqr produced non-finite step")
+            return dx
+
+        # "lu" and "pcg" both need the weighted Jacobian and the gain
+        # matrix; Hw is shared between the RHS and the gain product.
+        Hw = _weighted_copy(Hc, weights)
+        rhs = Hw.T @ r
+        G = (Hc.T @ Hw).tocsc()
+        if self.method == "lu":
+            dx = self._solve_lu(G, rhs)
+            if not np.all(np.isfinite(dx)):
+                raise GainSolveError("gain solve produced non-finite step")
+            return dx
+        res = pcg_solve(
+            G, rhs, preconditioner=self.pcg_preconditioner, tol=self.pcg_tol
+        )
+        if not res.converged:
+            raise GainSolveError(
+                f"PCG did not converge (rel. residual {res.residual_norm:.2e})"
+            )
+        return res.x
 
 
 def solve_normal_equations(
@@ -40,7 +151,7 @@ def solve_normal_equations(
     pcg_preconditioner="jacobi",
     pcg_tol: float = 1e-12,
 ) -> np.ndarray:
-    """Solve ``(Hᵀ W H) dx = Hᵀ W r`` for the Gauss-Newton step.
+    """Solve ``(Hᵀ W H) dx = Hᵀ W r`` for the Gauss-Newton step (one-shot).
 
     Parameters
     ----------
@@ -55,31 +166,6 @@ def solve_normal_equations(
     pcg_preconditioner, pcg_tol:
         Passed to :func:`repro.estimation.pcg.pcg_solve` for ``"pcg"``.
     """
-    rhs = H.T @ (weights * r)
-    if method == "lu":
-        G = build_gain(H, weights)
-        try:
-            lu = spla.splu(G)
-        except RuntimeError as exc:
-            raise GainSolveError(f"gain matrix is singular: {exc}") from exc
-        dx = lu.solve(rhs)
-        if not np.all(np.isfinite(dx)):
-            raise GainSolveError("gain solve produced non-finite step")
-        return dx
-    if method == "pcg":
-        G = build_gain(H, weights)
-        res = pcg_solve(G, rhs, preconditioner=pcg_preconditioner, tol=pcg_tol)
-        if not res.converged:
-            raise GainSolveError(
-                f"PCG did not converge (rel. residual {res.residual_norm:.2e})"
-            )
-        return res.x
-    if method == "lsqr":
-        sw = np.sqrt(weights)
-        Hs = H.multiply(sw[:, None]).tocsr()
-        out = spla.lsqr(Hs, sw * r, atol=1e-14, btol=1e-14)
-        dx = out[0]
-        if not np.all(np.isfinite(dx)):
-            raise GainSolveError("lsqr produced non-finite step")
-        return dx
-    raise ValueError(f"unknown method {method!r}")
+    return GainSolver(
+        method, pcg_preconditioner=pcg_preconditioner, pcg_tol=pcg_tol
+    ).solve(H, weights, r)

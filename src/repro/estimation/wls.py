@@ -16,7 +16,7 @@ from ..grid.network import Network
 from ..measurements.functions import MeasurementModel
 from ..measurements.types import MeasType, MeasurementSet
 from .results import EstimationResult
-from .solvers import solve_normal_equations
+from .solvers import GainSolver
 
 __all__ = ["EstimationError", "WlsEstimator", "estimate_state"]
 
@@ -42,6 +42,12 @@ class WlsEstimator:
         (default: the network's first slack bus).
     pcg_preconditioner:
         Preconditioner for ``solver="pcg"``.
+    use_cache:
+        When true (default), iterations refill the precomputed Jacobian
+        sparsity pattern instead of re-deriving it, and the normal-equation
+        solver reuses its symbolic analysis across iterations.  The slow
+        path (``False``) is the uncached reference implementation; both
+        agree to floating-point round-off.
     """
 
     def __init__(
@@ -52,12 +58,14 @@ class WlsEstimator:
         solver: str = "lu",
         reference_bus: int | None = None,
         pcg_preconditioner="jacobi",
+        use_cache: bool = True,
     ):
         self.net = net
         self.mset = mset
         self.model = MeasurementModel(net, mset)
         self.solver = solver
         self.pcg_preconditioner = pcg_preconditioner
+        self.use_cache = use_cache
         self.has_pmu_angles = mset.count(MeasType.PMU_VA) > 0
         if reference_bus is None:
             slacks = net.slack_buses
@@ -69,11 +77,19 @@ class WlsEstimator:
             self._keep = np.arange(2 * n)
         else:
             self._keep = np.delete(np.arange(2 * n), self.reference_bus)
+        self._gain_solver = GainSolver(
+            solver, pcg_preconditioner=pcg_preconditioner
+        )
 
     @property
     def n_states(self) -> int:
         """Number of free state variables."""
         return len(self._keep)
+
+    def _jacobian_at(self, Vm: np.ndarray, Va: np.ndarray):
+        if self.use_cache:
+            return self.model.jacobian_reduced(Vm, Va, self._keep)
+        return self.model.jacobian(Vm, Va).tocsc()[:, self._keep]
 
     def estimate(
         self,
@@ -82,8 +98,13 @@ class WlsEstimator:
         tol: float = 1e-8,
         max_iter: int = 25,
         reference_angle: float = 0.0,
+        z: np.ndarray | None = None,
     ) -> EstimationResult:
         """Run Gauss-Newton from ``x0`` (default flat start).
+
+        ``z`` optionally overrides the measured values of the estimator's
+        measurement set (same canonical order, e.g. a fresh telemetry scan
+        or updated pseudo measurements over an unchanged structure).
 
         Returns an :class:`EstimationResult`; raises
         :class:`EstimationError` on a failed normal-equation solve (e.g.
@@ -96,6 +117,10 @@ class WlsEstimator:
                 f"underdetermined: {len(ms)} measurements for "
                 f"{self.n_states} states"
             )
+        if z is None:
+            z = ms.z
+        elif len(z) != len(ms):
+            raise ValueError("z override length mismatch")
 
         if x0 is None:
             Vm = np.ones(n)
@@ -106,20 +131,23 @@ class WlsEstimator:
             Va[self.reference_bus] = reference_angle
 
         w = ms.weights
+        solver = (
+            self._gain_solver
+            if self.use_cache
+            else GainSolver(self.solver, pcg_preconditioner=self.pcg_preconditioner)
+        )
         step_norms: list[float] = []
         converged = False
         it = 0
+        # The residual is evaluated once per state: initially, and after
+        # every update — the final iteration's post-update evaluation is
+        # reused for the reported residuals/objective instead of being
+        # recomputed after the loop.
+        r = z - model.h(Vm, Va)
         for it in range(1, max_iter + 1):
-            r = ms.z - model.h(Vm, Va)
-            H = model.jacobian(Vm, Va).tocsc()[:, self._keep]
+            H = self._jacobian_at(Vm, Va)
             try:
-                dx = solve_normal_equations(
-                    H,
-                    w,
-                    r,
-                    method=self.solver,
-                    pcg_preconditioner=self.pcg_preconditioner,
-                )
+                dx = solver.solve(H, w, r)
             except Exception as exc:
                 raise EstimationError(f"normal-equation solve failed: {exc}") from exc
 
@@ -127,13 +155,13 @@ class WlsEstimator:
             full_dx[self._keep] = dx
             Va += full_dx[:n]
             Vm += full_dx[n:]
+            r = z - model.h(Vm, Va)
             step = float(np.max(np.abs(dx))) if len(dx) else 0.0
             step_norms.append(step)
             if step < tol:
                 converged = True
                 break
 
-        r = ms.z - model.h(Vm, Va)
         objective = float(r @ (w * r))
         return EstimationResult(
             converged=converged,

@@ -21,7 +21,276 @@ from ..grid.powerflow import dsbus_dv
 from ..grid.ybus import build_yf_yt, build_ybus
 from .types import MeasType, MeasurementSet
 
-__all__ = ["MeasurementModel"]
+__all__ = ["JacobianStructure", "MeasurementModel"]
+
+
+def _union_with_terminal(
+    Y: sp.csr_matrix, term: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-sorted union of Y's sparsity pattern with entries ``(l, term[l])``.
+
+    Returns ``(rows, cols, vals)`` with one record per distinct position;
+    ``vals`` holds Y's entry there (0 where only the terminal contributes).
+    """
+    nl = Y.shape[0]
+    rows = np.concatenate(
+        [np.repeat(np.arange(nl), np.diff(Y.indptr)), np.arange(nl)]
+    )
+    cols = np.concatenate([Y.indices.astype(np.int64), term.astype(np.int64)])
+    vals = np.concatenate([Y.data, np.zeros(nl, dtype=Y.data.dtype)])
+    order = np.lexsort((cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    first = np.ones(len(rows), dtype=bool)
+    first[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+    grp = np.cumsum(first) - 1
+    out_vals = np.zeros(int(grp[-1]) + 1 if len(grp) else 0, dtype=vals.dtype)
+    np.add.at(out_vals, grp, vals)
+    return rows[first], cols[first], out_vals
+
+
+class JacobianStructure:
+    """Precomputed sparsity pattern + fill recipe for the reduced Jacobian.
+
+    The Jacobian's sparsity is fixed by the network topology and the
+    measurement set; only its values depend on the state.  This class bakes
+    the whole assembly — block stacking, canonical row order, reduced-column
+    selection — into index arrays once, so each Gauss-Newton iteration only
+    evaluates the per-entry derivative formulas (vectorised over the union
+    patterns of Ybus/Yf/Yt) and scatters them into a CSC ``data`` array.
+
+    Values match :meth:`MeasurementModel.jacobian` to floating-point
+    round-off; the parity tests pin this down.
+    """
+
+    def __init__(self, model: "MeasurementModel", keep: np.ndarray | None = None):
+        net, ms = model.net, model.mset
+        n = net.n_bus
+        self.model = model
+        if keep is None:
+            keep = np.arange(2 * n)
+        keep = np.asarray(keep)
+        if keep.dtype == bool:  # boolean mask → column indices
+            keep = np.flatnonzero(keep)
+        self.keep = np.asarray(keep, dtype=np.int64)
+        self.n_rows = len(ms)
+        self.n_cols = len(self.keep)
+
+        col_lut = -np.ones(2 * n, dtype=np.int64)
+        col_lut[self.keep] = np.arange(self.n_cols)
+
+        # -- entry lists: (row, col, source id, gather index, part id) -----
+        # parts: 0 = const, 1 = real, 2 = imag
+        e_rows: list[np.ndarray] = []
+        e_cols: list[np.ndarray] = []
+        e_src: list[np.ndarray] = []
+        e_gidx: list[np.ndarray] = []
+        e_part: list[np.ndarray] = []
+        e_cval: list[np.ndarray] = []
+        src_names: list[str] = []
+
+        def add_entries(rows, cols, src, gidx, part, cval=None):
+            e_rows.append(rows.astype(np.int64))
+            e_cols.append(cols.astype(np.int64))
+            e_src.append(np.full(len(rows), src, dtype=np.int16))
+            e_gidx.append(gidx.astype(np.int64))
+            e_part.append(np.full(len(rows), part, dtype=np.int8))
+            e_cval.append(
+                np.zeros(len(rows)) if cval is None else np.asarray(cval, float)
+            )
+
+        def src_id(name: str) -> int:
+            if name not in src_names:
+                src_names.append(name)
+            return src_names.index(name)
+
+        def add_block(mrows, el, urows, ucols, src_va, src_vm, part):
+            """Entries for measurements ``mrows`` over union pattern rows
+            ``el`` (dVa columns ``ucols`` and dVm columns ``n + ucols``)."""
+            ptr = np.searchsorted(urows, np.arange(int(el.max()) + 2))
+            counts = ptr[el + 1] - ptr[el]
+            rows = np.repeat(mrows, counts)
+            gidx = (
+                np.concatenate([np.arange(ptr[e], ptr[e + 1]) for e in el])
+                if len(el)
+                else np.zeros(0, np.int64)
+            )
+            cols = ucols[gidx]
+            add_entries(rows, cols, src_id(src_va), gidx, part)
+            add_entries(rows, cols + n, src_id(src_vm), gidx, part)
+
+        # V_MAG / PMU_VA: constant identity entries.
+        el = ms.elements(MeasType.V_MAG)
+        if el.size:
+            add_entries(
+                ms.rows(MeasType.V_MAG), n + el, -1, np.zeros(len(el)), 0,
+                cval=np.ones(len(el)),
+            )
+        el = ms.elements(MeasType.PMU_VA)
+        if el.size:
+            add_entries(
+                ms.rows(MeasType.PMU_VA), el, -1, np.zeros(len(el)), 0,
+                cval=np.ones(len(el)),
+            )
+
+        # Injections: union of Ybus pattern and the diagonal.
+        self._need_inj = bool(
+            ms.count(MeasType.P_INJ) or ms.count(MeasType.Q_INJ)
+        )
+        if self._need_inj:
+            Yb = model.ybus.tocsr()
+            ir, ic, iv = _union_with_terminal(Yb, np.arange(n))
+            self._inj = (ir, ic, iv, ir == ic)
+            el = ms.elements(MeasType.P_INJ)
+            if el.size:
+                add_block(ms.rows(MeasType.P_INJ), el, ir, ic,
+                          "inj_dva", "inj_dvm", 1)
+            el = ms.elements(MeasType.Q_INJ)
+            if el.size:
+                add_block(ms.rows(MeasType.Q_INJ), el, ir, ic,
+                          "inj_dva", "inj_dvm", 2)
+
+        # From-side flows: union of Yf pattern and the from-terminal column.
+        self._need_f = bool(
+            ms.count(MeasType.P_FLOW_F) or ms.count(MeasType.Q_FLOW_F)
+        )
+        if self._need_f:
+            Yf = model.yf.tocsr()
+            fr, fc, fv = _union_with_terminal(Yf, net.f)
+            self._fside = (fr, fc, fv, fc == net.f[fr])
+            el = ms.elements(MeasType.P_FLOW_F)
+            if el.size:
+                add_block(ms.rows(MeasType.P_FLOW_F), el, fr, fc,
+                          "f_dva", "f_dvm", 1)
+            el = ms.elements(MeasType.Q_FLOW_F)
+            if el.size:
+                add_block(ms.rows(MeasType.Q_FLOW_F), el, fr, fc,
+                          "f_dva", "f_dvm", 2)
+
+        # To-side flows.
+        self._need_t = bool(
+            ms.count(MeasType.P_FLOW_T) or ms.count(MeasType.Q_FLOW_T)
+        )
+        if self._need_t:
+            Yt = model.yt.tocsr()
+            tr, tc, tv = _union_with_terminal(Yt, net.t)
+            self._tside = (tr, tc, tv, tc == net.t[tr])
+            el = ms.elements(MeasType.P_FLOW_T)
+            if el.size:
+                add_block(ms.rows(MeasType.P_FLOW_T), el, tr, tc,
+                          "t_dva", "t_dvm", 1)
+            el = ms.elements(MeasType.Q_FLOW_T)
+            if el.size:
+                add_block(ms.rows(MeasType.Q_FLOW_T), el, tr, tc,
+                          "t_dva", "t_dvm", 2)
+
+        # Current magnitude (from side): plain Yf pattern, real-valued.
+        self._need_imag = bool(ms.count(MeasType.I_MAG_F))
+        if self._need_imag:
+            Yf = model.yf.tocsr()
+            nl = Yf.shape[0]
+            mr = np.repeat(np.arange(nl), np.diff(Yf.indptr))
+            self._imag = (mr, Yf.indices.astype(np.int64), Yf.data.copy())
+            el = ms.elements(MeasType.I_MAG_F)
+            add_block(ms.rows(MeasType.I_MAG_F), el, mr,
+                      self._imag[1], "imag_da", "imag_dm", 1)
+
+        # -- assemble the final CSC skeleton -------------------------------
+        if e_rows:
+            rows = np.concatenate(e_rows)
+            cols = np.concatenate(e_cols)
+            src = np.concatenate(e_src)
+            gidx = np.concatenate(e_gidx)
+            part = np.concatenate(e_part)
+            cval = np.concatenate(e_cval)
+        else:
+            rows = cols = gidx = np.zeros(0, np.int64)
+            src = np.zeros(0, np.int16)
+            part = np.zeros(0, np.int8)
+            cval = np.zeros(0)
+
+        mask = col_lut[cols] >= 0
+        rows, cols = rows[mask], col_lut[cols[mask]]
+        src, gidx, part, cval = src[mask], gidx[mask], part[mask], cval[mask]
+        n_entries = len(rows)
+
+        skel = sp.coo_matrix(
+            (np.arange(n_entries, dtype=float), (rows, cols)),
+            shape=(self.n_rows, self.n_cols),
+        ).tocsc()
+        self._indices = skel.indices
+        self._indptr = skel.indptr
+        self._perm = skel.data.astype(np.int64)
+
+        # constant entries prefilled; dynamic groups refill the rest
+        self._template = cval
+        self._groups: list[tuple[np.ndarray, str, int]] = []
+        for s, name in enumerate(src_names):
+            for p in (1, 2):
+                pos = np.flatnonzero((src == s) & (part == p))
+                if pos.size:
+                    self._groups.append((pos, name, p))
+        self._gidx = gidx
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Stored entries in the assembled reduced Jacobian."""
+        return len(self._perm)
+
+    # ------------------------------------------------------------------
+    def fill(self, Vm: np.ndarray, Va: np.ndarray) -> sp.csc_matrix:
+        """Evaluate the reduced Jacobian at (Vm, Va) on the cached pattern."""
+        model = self.model
+        V = Vm * np.exp(1j * Va)
+        vnorm = V / np.abs(V)
+        src: dict[str, np.ndarray] = {}
+
+        if self._need_inj:
+            ir, ic, iv, idg = self._inj
+            Ib = model.ybus @ V
+            src["inj_dva"] = 1j * V[ir] * np.conj(idg * Ib[ir] - iv * V[ic])
+            src["inj_dvm"] = V[ir] * np.conj(iv) * np.conj(vnorm[ic]) + idg * (
+                np.conj(Ib[ir]) * vnorm[ir]
+            )
+        if self._need_f:
+            fr, fc, fv, ift = self._fside
+            term = model.net.f
+            ibr = model.yf @ V
+            src["f_dva"] = 1j * (
+                np.conj(ibr[fr]) * (ift * V[fc])
+                - V[term[fr]] * np.conj(fv) * np.conj(V[fc])
+            )
+            src["f_dvm"] = V[term[fr]] * np.conj(fv) * np.conj(vnorm[fc]) + np.conj(
+                ibr[fr]
+            ) * (ift * vnorm[fc])
+        if self._need_t:
+            tr, tc, tv, itt = self._tside
+            term = model.net.t
+            ibr = model.yt @ V
+            src["t_dva"] = 1j * (
+                np.conj(ibr[tr]) * (itt * V[tc])
+                - V[term[tr]] * np.conj(tv) * np.conj(V[tc])
+            )
+            src["t_dvm"] = V[term[tr]] * np.conj(tv) * np.conj(vnorm[tc]) + np.conj(
+                ibr[tr]
+            ) * (itt * vnorm[tc])
+        if self._need_imag:
+            mr, mc, mv = self._imag
+            i_f = model.yf @ V
+            mag = np.abs(i_f)
+            scale = np.where(mag > 1e-9, 1.0 / np.maximum(mag, 1e-9), 0.0)
+            w = np.conj(i_f) * scale
+            src["imag_da"] = np.real(w[mr] * (mv * (1j * V[mc])))
+            src["imag_dm"] = np.real(w[mr] * (mv * vnorm[mc]))
+
+        vals = self._template.copy()
+        for pos, name, p in self._groups:
+            arr = src[name][self._gidx[pos]]
+            vals[pos] = arr.real if p == 1 else arr.imag
+        return sp.csc_matrix(
+            (vals[self._perm], self._indices, self._indptr),
+            shape=(self.n_rows, self.n_cols),
+        )
 
 
 def _dsbr_dv(
@@ -64,6 +333,7 @@ class MeasurementModel:
         self.ybus = build_ybus(net)
         self.yf, self.yt = build_yf_yt(net)
         self.n_state = 2 * net.n_bus
+        self._jac_structs: dict[bytes | None, JacobianStructure] = {}
 
         for t in MeasType:
             el = mset.elements(t)
@@ -201,6 +471,36 @@ class MeasurementModel:
         if not blocks:
             return sp.csr_matrix((0, 2 * n))
         return sp.vstack(blocks, format="csr")
+
+    # ------------------------------------------------------------------
+    def jacobian_structure(self, keep: np.ndarray | None = None) -> JacobianStructure:
+        """The cached fill recipe for the (column-reduced) Jacobian.
+
+        ``keep`` selects state columns (e.g. reference-angle elimination);
+        structures are cached per distinct ``keep`` selection, so repeated
+        Gauss-Newton iterations share one precomputed pattern.
+        """
+        if keep is not None:
+            keep = np.asarray(keep)
+            if keep.dtype == bool:
+                keep = np.flatnonzero(keep)
+        key = None if keep is None else np.asarray(keep, np.int64).tobytes()
+        st = self._jac_structs.get(key)
+        if st is None:
+            st = JacobianStructure(self, keep)
+            self._jac_structs[key] = st
+        return st
+
+    def jacobian_reduced(
+        self, Vm: np.ndarray, Va: np.ndarray, keep: np.ndarray | None = None
+    ) -> sp.csc_matrix:
+        """Reduced Jacobian via the cached structure (fast path).
+
+        Equivalent to ``jacobian(Vm, Va).tocsc()[:, keep]`` up to
+        floating-point round-off, without re-deriving the sparsity pattern
+        or re-slicing columns on every call.
+        """
+        return self.jacobian_structure(keep).fill(Vm, Va)
 
     # ------------------------------------------------------------------
     def residual(self, z: np.ndarray, Vm: np.ndarray, Va: np.ndarray) -> np.ndarray:

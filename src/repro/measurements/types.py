@@ -172,6 +172,23 @@ class MeasurementSet:
         """Union of two measurement sets (re-canonicalised)."""
         return MeasurementSet(list(self._ordered) + list(other._ordered))
 
+    def merged_with_positions(
+        self, other: "MeasurementSet"
+    ) -> tuple["MeasurementSet", np.ndarray, np.ndarray]:
+        """Like :meth:`merged_with`, also returning row positions.
+
+        Returns ``(merged, rows_self, rows_other)`` where ``rows_self[i]``
+        is the row of ``self[i]`` in the merged canonical order (same for
+        ``rows_other``).  Lets callers that re-merge structurally identical
+        sets every cycle (e.g. DSE pseudo measurements) compute the merged
+        value vector by scatter instead of rebuilding the set.
+        """
+        merged = self.merged_with(other)
+        pos = {id(m): i for i, m in enumerate(merged._ordered)}
+        rows_self = np.array([pos[id(m)] for m in self._ordered], dtype=np.int64)
+        rows_other = np.array([pos[id(m)] for m in other._ordered], dtype=np.int64)
+        return merged, rows_self, rows_other
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(
             f"{t.value}={self.count(t)}" for t in _TYPE_ORDER if self.count(t)

@@ -1,0 +1,196 @@
+"""Parity tests for the hot-path caches.
+
+The cached fast paths (precomputed Jacobian structure, stateful gain
+solver, reused DSE subproblems, warm starts, thread-pool fan-out) are
+optimisations only: every one of them must reproduce the uncached
+reference computation, bitwise where the schedule is identical and to
+well below 1e-10 where only the iteration trajectory changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dse import DistributedStateEstimator, decompose, dse_pmu_placement
+from repro.estimation import GainSolver, WlsEstimator, solve_normal_equations
+from repro.measurements import (
+    MeasurementModel,
+    full_placement,
+    generate_measurements,
+    pmu_placement,
+)
+from repro.parallel import SerialExecutor, ThreadPoolBackend, make_executor
+
+
+@pytest.fixture(scope="module")
+def ms14(net14, pf14):
+    rng = np.random.default_rng(7)
+    plac = full_placement(net14).merged_with(pmu_placement(net14))
+    return generate_measurements(net14, plac, pf14, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def ms118(net118, pf118):
+    rng = np.random.default_rng(7)
+    return generate_measurements(net118, full_placement(net118), pf118, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def dse118(net118, pf118):
+    dec = decompose(net118, 9, seed=0)
+    rng = np.random.default_rng(0)
+    plac = full_placement(net118).merged_with(dse_pmu_placement(dec))
+    ms = generate_measurements(net118, plac, pf118, rng=rng)
+    return dec, ms
+
+
+class TestJacobianStructureParity:
+    """Cached (pattern-reusing) Jacobian vs the from-scratch build."""
+
+    @pytest.mark.parametrize("case", ["net14", "net118"])
+    def test_full_jacobian_identical(self, case, request):
+        net = request.getfixturevalue(case)
+        pf = request.getfixturevalue("pf" + case[3:])
+        rng = np.random.default_rng(11)
+        plac = full_placement(net).merged_with(pmu_placement(net))
+        ms = generate_measurements(net, plac, pf, rng=rng)
+        model = MeasurementModel(net, ms)
+        keep = np.ones(2 * net.n_bus, dtype=bool)
+
+        for Vm, Va in [
+            (np.ones(net.n_bus), np.zeros(net.n_bus)),
+            (pf.Vm, pf.Va),
+        ]:
+            ref = model.jacobian(Vm, Va).tocsc()[:, keep]
+            fast = model.jacobian_reduced(Vm, Va, keep)
+            assert fast.shape == ref.shape
+            d = (fast - ref).tocoo()
+            assert d.nnz == 0 or float(np.abs(d.data).max()) < 1e-13
+
+    def test_reduced_columns_identical(self, net14, pf14, ms14):
+        model = MeasurementModel(net14, ms14)
+        keep = np.ones(2 * net14.n_bus, dtype=bool)
+        keep[net14.slack_buses[0]] = False  # drop the slack angle column
+        ref = model.jacobian(pf14.Vm, pf14.Va).tocsc()[:, keep]
+        fast = model.jacobian_reduced(pf14.Vm, pf14.Va, keep)
+        assert fast.shape == ref.shape
+        d = (fast - ref).tocoo()
+        assert d.nnz == 0 or float(np.abs(d.data).max()) < 1e-13
+
+    def test_structure_is_cached(self, net14, pf14, ms14):
+        model = MeasurementModel(net14, ms14)
+        keep = np.ones(2 * net14.n_bus, dtype=bool)
+        s1 = model.jacobian_structure(keep)
+        s2 = model.jacobian_structure(keep.copy())
+        assert s1 is s2
+
+
+class TestGainSolverParity:
+    """Stateful solver (reused ordering) vs one-shot solves, per iteration."""
+
+    def test_lu_refactor_matches_oneshot(self, net14, pf14, ms14):
+        model = MeasurementModel(net14, ms14)
+        w = ms14.weights
+        keep = np.ones(2 * net14.n_bus, dtype=bool)
+        solver = GainSolver("lu")
+        Vm, Va = np.ones(net14.n_bus), np.zeros(net14.n_bus)
+        for _ in range(3):
+            H = model.jacobian_reduced(Vm, Va, keep)
+            r = ms14.z - model.h(Vm, Va)
+            dx = solver.solve(H, w, r)
+            ref = solve_normal_equations(H, w, r, method="lu")
+            assert float(np.abs(dx - ref).max()) < 1e-10
+            Va = Va + dx[: net14.n_bus]
+            Vm = Vm + dx[net14.n_bus :]
+
+    def test_estimator_cache_toggle(self, net118, ms118):
+        hot = WlsEstimator(net118, ms118, use_cache=True).estimate()
+        cold = WlsEstimator(net118, ms118, use_cache=False).estimate()
+        assert hot.iterations == cold.iterations
+        assert float(np.abs(hot.Vm - cold.Vm).max()) < 1e-10
+        assert float(np.abs(hot.Va - cold.Va).max()) < 1e-10
+
+    def test_repeated_estimates_identical(self, net118, ms118):
+        est = WlsEstimator(net118, ms118)
+        a = est.estimate()
+        b = est.estimate()  # second call reuses pattern + ordering caches
+        assert np.array_equal(a.Vm, b.Vm)
+        assert np.array_equal(a.Va, b.Va)
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("case", ["net14", "net118"])
+    @pytest.mark.parametrize("solver", ["pcg", "lsqr"])
+    def test_methods_agree(self, case, solver, request):
+        ms = request.getfixturevalue("ms" + case[3:])
+        net = request.getfixturevalue(case)
+        ref = WlsEstimator(net, ms, solver="lu").estimate()
+        res = WlsEstimator(net, ms, solver=solver).estimate()
+        assert np.allclose(res.Vm, ref.Vm, atol=1e-7)
+        assert np.allclose(res.Va, ref.Va, atol=1e-7)
+
+
+class TestDseParity:
+    def test_cached_matches_seed_semantics(self, dse118):
+        """Caches + warm starts vs the uncached cold-start reference."""
+        dec, ms = dse118
+        hot = DistributedStateEstimator(dec, ms).run()
+        ref = DistributedStateEstimator(
+            dec, ms, reuse_structures=False, warm_start=False
+        ).run()
+        assert float(np.abs(hot.Vm - ref.Vm).max()) < 1e-10
+        assert float(np.abs(hot.Va - ref.Va).max()) < 1e-10
+
+    def test_no_warm_start_tight_parity(self, dse118):
+        """With warm starts off, the caches only change round-off.
+
+        The cached fill sums duplicate entries in a different order than
+        the from-scratch Jacobian build, so bit-equality is not attainable
+        — but the drift must stay at machine precision.
+        """
+        dec, ms = dse118
+        hot = DistributedStateEstimator(dec, ms, warm_start=False).run()
+        ref = DistributedStateEstimator(
+            dec, ms, reuse_structures=False, warm_start=False
+        ).run()
+        assert float(np.abs(hot.Vm - ref.Vm).max()) < 1e-12
+        assert float(np.abs(hot.Va - ref.Va).max()) < 1e-12
+
+    def test_threads_bitwise_equal_serial(self, dse118):
+        dec, ms = dse118
+        serial = DistributedStateEstimator(
+            dec, ms, executor=SerialExecutor()
+        ).run()
+        with ThreadPoolBackend(4) as pool:
+            threaded = DistributedStateEstimator(dec, ms, executor=pool).run()
+        assert np.array_equal(serial.Vm, threaded.Vm)
+        assert np.array_equal(serial.Va, threaded.Va)
+
+
+class TestExecutor:
+    def test_make_executor_specs(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        pool = make_executor(3)
+        assert isinstance(pool, ThreadPoolBackend)
+        assert pool.n_workers == 3
+        assert make_executor(pool) is pool
+        pool.shutdown()
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+
+    def test_map_order_and_workers(self):
+        with ThreadPoolBackend(4) as pool:
+            out = pool.map(lambda i: i * i, range(20))
+            assert out == [i * i for i in range(20)]
+            idx = set(pool.map(lambda _: pool.worker_index(), range(20)))
+            assert idx <= set(range(4))
+
+    def test_map_propagates_exceptions(self):
+        def boom(i):
+            if i == 3:
+                raise RuntimeError("task failed")
+            return i
+
+        with ThreadPoolBackend(2) as pool:
+            with pytest.raises(RuntimeError, match="task failed"):
+                pool.map(boom, range(5))
