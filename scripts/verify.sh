@@ -18,4 +18,7 @@ fi
 echo "== quickstart smoke =="
 python examples/quickstart.py
 
+echo "== scenario serving smoke (tiny batch) =="
+python examples/serve_scenarios.py --tiny
+
 echo "verify: OK"

@@ -8,6 +8,7 @@ paper's HPC reference (Chen et al. [2]).
 from .analysis import ContingencyAnalyzer, ContingencyResult, Violation
 from .parallel import (
     ParallelAnalysisReport,
+    run_parallel,
     run_parallel_threads,
     simulate_parallel_analysis,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "ContingencyResult",
     "Violation",
     "ParallelAnalysisReport",
+    "run_parallel",
     "run_parallel_threads",
     "simulate_parallel_analysis",
 ]

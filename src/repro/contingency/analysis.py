@@ -105,12 +105,17 @@ class ContingencyAnalyzer:
             return ContingencyResult(contingency=contingency, converged=False)
 
         live = outaged.live_branches()
-        flows = np.abs(pf.Pf[live])
+        signed = pf.Pf[live]
+        flows = np.abs(signed)
         rate = self.ratings[live]
-        over = flows > rate
+        # Single fancy-index pass over the overloaded rows; ``tolist``
+        # yields python scalars directly instead of per-element casts.
+        over = np.flatnonzero(flows > rate)
         violations = [
-            Violation(branch=int(k), flow=float(f), rating=float(r))
-            for k, f, r in zip(live[over], pf.Pf[live][over], rate[over])
+            Violation(branch=b, flow=f, rating=r)
+            for b, f, r in zip(
+                live[over].tolist(), signed[over].tolist(), rate[over].tolist()
+            )
         ]
         max_loading = float((flows / rate).max()) if len(live) else 0.0
         return ContingencyResult(
@@ -121,9 +126,28 @@ class ContingencyAnalyzer:
             iterations=pf.iterations,
         )
 
-    def analyze_all(self, contingencies: list[Contingency]) -> list[ContingencyResult]:
-        """Serial analysis of a contingency list."""
-        return [self.analyze(c) for c in contingencies]
+    def analyze_all(
+        self,
+        contingencies: list[Contingency],
+        *,
+        executor=None,
+    ) -> list[ContingencyResult]:
+        """Analyse a contingency list through the shared fan-out path.
+
+        ``executor`` takes any :func:`repro.parallel.make_executor` spec
+        (``None``/``"serial"``, ``"threads[:N]"``, ``"processes[:N]"``, an
+        int worker count, or an executor instance); the default runs
+        serially.  Serial and parallel execution share one code path
+        (:func:`repro.contingency.parallel.run_parallel`), so results are
+        identical across backends.
+        """
+        from ..parallel import make_executor
+        from .parallel import run_parallel
+
+        report = run_parallel(
+            self, contingencies, executor=make_executor(executor), scheme="dynamic"
+        )
+        return report.results
 
     # ------------------------------------------------------------------
     @classmethod

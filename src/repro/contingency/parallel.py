@@ -17,19 +17,28 @@ Both schemes are provided on two fabrics:
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..cluster.simevent import SimEngine, Timeout
 from ..cluster.topology import ClusterTopology
-from ..parallel import SubsystemExecutor, ThreadPoolBackend, chunked
+from ..parallel import (
+    SubsystemExecutor,
+    ThreadPoolBackend,
+    chunked,
+    make_executor,
+    worker_context,
+)
 from .analysis import ContingencyAnalyzer, ContingencyResult
 from .screening import Contingency
 
 __all__ = [
     "ParallelAnalysisReport",
+    "run_parallel",
     "run_parallel_threads",
     "simulate_parallel_analysis",
 ]
@@ -54,38 +63,112 @@ class ParallelAnalysisReport:
         return float(busy.max() / busy.mean())
 
 
-def run_parallel_threads(
+# ---------------------------------------------------------------------------
+# Process-pool worker side: the analyzer (network, ratings, base flows) is
+# shipped once per worker by the pool initializer; tasks then carry only the
+# contingency record (an outage index + label) — compact task framing.
+# ---------------------------------------------------------------------------
+
+_ANALYZER_TOKENS = itertools.count()
+
+
+def _analyzer_state(payload):
+    return payload
+
+
+def _analyze_task(args):
+    key, i, contingency = args
+    analyzer = worker_context(key)
+    t0 = time.perf_counter()
+    res = analyzer.analyze(contingency)
+    return i, res, time.perf_counter() - t0
+
+
+def _analyze_chunk_task(args):
+    key, jobs = args
+    analyzer = worker_context(key)
+    out = []
+    for i, contingency in jobs:
+        t0 = time.perf_counter()
+        res = analyzer.analyze(contingency)
+        out.append((i, res, time.perf_counter() - t0))
+    return out
+
+
+def _analyzer_token(analyzer: ContingencyAnalyzer) -> str:
+    """Stable per-analyzer context key (stamped on first parallel use)."""
+    token = getattr(analyzer, "_pool_token", None)
+    if token is None:
+        token = f"contingency:{next(_ANALYZER_TOKENS)}"
+        analyzer._pool_token = token
+    return token
+
+
+def run_parallel(
     analyzer: ContingencyAnalyzer,
     contingencies: list[Contingency],
     *,
+    executor: "SubsystemExecutor | str | int | None" = None,
     n_workers: int = 4,
     scheme: str = "dynamic",
-    executor: SubsystemExecutor | None = None,
 ) -> ParallelAnalysisReport:
-    """Analyse contingencies on real threads.
+    """Analyse contingencies through any executor backend.
 
     ``scheme="static"`` pre-splits the list into equal round-robin chunks,
     one per worker; ``scheme="dynamic"`` submits every case individually to
     the pool's shared work queue (the counter-based scheme: a free worker
-    grabs the next case).  An existing
-    :class:`~repro.parallel.SubsystemExecutor` can be passed to share a
-    pool with the DSE session; otherwise a :class:`ThreadPoolBackend` with
-    ``n_workers`` threads is created for the call.
+    grabs the next case).  ``executor`` accepts any
+    :func:`repro.parallel.make_executor` spec or an existing executor (to
+    share a pool with the DSE session or the scenario service); when
+    omitted, a :class:`ThreadPoolBackend` with ``n_workers`` threads is
+    created for the call.  With a
+    :class:`~repro.parallel.ProcessPoolBackend`, the analyzer ships to each
+    worker once (pool initializer) and every task carries only the
+    contingency record, so the workers stay warm across sweeps.
     """
-    import time
-
     if scheme not in ("static", "dynamic"):
         raise ValueError("scheme must be 'static' or 'dynamic'")
-    own_pool = executor is None
-    if own_pool:
+    own_pool = executor is None or isinstance(executor, (str, int))
+    if executor is None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         executor = ThreadPoolBackend(n_workers)
     else:
+        executor = make_executor(executor)
         n_workers = executor.n_workers
 
     n = len(contingencies)
     results: list[ContingencyResult | None] = [None] * n
+
+    t0 = time.perf_counter()
+    try:
+        if getattr(executor, "distributed", False):
+            cases, busy = _run_process_pool(
+                analyzer, contingencies, executor, scheme, results
+            )
+        else:
+            cases, busy = _run_shared_memory(
+                analyzer, contingencies, executor, scheme, results
+            )
+    finally:
+        if own_pool:
+            executor.shutdown()
+    makespan = time.perf_counter() - t0
+
+    return ParallelAnalysisReport(
+        results=[r for r in results if r is not None],
+        per_worker_cases=cases,
+        per_worker_busy=busy,
+        makespan=makespan,
+        scheme=scheme,
+    )
+
+
+def _run_shared_memory(analyzer, contingencies, executor, scheme, results):
+    """Thread/serial fabric: closures write results in place; the pool's
+    shared queue provides the counter-based dynamic balancing."""
+    n = len(contingencies)
+    n_workers = executor.n_workers
     cases = [0] * n_workers
     busy = [0.0] * n_workers
     lock = threading.Lock()
@@ -109,22 +192,57 @@ def run_parallel_threads(
                 busy[w] += dt
                 cases[w] += 1
 
-    t0 = time.perf_counter()
-    try:
-        if scheme == "dynamic":
-            executor.map(run_case, range(n))
-        else:
-            executor.map(run_chunk, list(enumerate(chunked(range(n), n_workers))))
-    finally:
-        if own_pool:
-            executor.shutdown()
-    makespan = time.perf_counter() - t0
+    if scheme == "dynamic":
+        executor.map(run_case, range(n))
+    else:
+        executor.map(run_chunk, list(enumerate(chunked(range(n), n_workers))))
+    return cases, busy
 
-    return ParallelAnalysisReport(
-        results=[r for r in results if r is not None],
-        per_worker_cases=cases,
-        per_worker_busy=busy,
-        makespan=makespan,
+
+def _run_process_pool(analyzer, contingencies, executor, scheme, results):
+    """Process fabric: warm analyzer per worker, compact per-case payloads,
+    pid-densified per-worker accounting."""
+    n = len(contingencies)
+    n_workers = executor.n_workers
+    cases = [0] * n_workers
+    busy = [0.0] * n_workers
+    key = _analyzer_token(analyzer)
+    executor.initialize(key, _analyzer_state, analyzer)
+
+    if scheme == "dynamic":
+        items = [(key, i, c) for i, c in enumerate(contingencies)]
+        outs, pids = executor.map_with_pids(_analyze_task, items)
+        flat = [(out, pid) for out, pid in zip(outs, pids)]
+    else:
+        jobs = chunked(list(enumerate(contingencies)), n_workers)
+        outs, pids = executor.map_with_pids(
+            _analyze_chunk_task, [(key, chunk) for chunk in jobs]
+        )
+        flat = [(rec, pid) for out, pid in zip(outs, pids) for rec in out]
+
+    widx: dict[int, int] = {}
+    for (i, res, dt), pid in flat:
+        w = widx.setdefault(pid, len(widx) % n_workers)
+        results[i] = res
+        busy[w] += dt
+        cases[w] += 1
+    return cases, busy
+
+
+def run_parallel_threads(
+    analyzer: ContingencyAnalyzer,
+    contingencies: list[Contingency],
+    *,
+    n_workers: int = 4,
+    scheme: str = "dynamic",
+    executor: SubsystemExecutor | None = None,
+) -> ParallelAnalysisReport:
+    """Back-compat wrapper over :func:`run_parallel` (thread default)."""
+    return run_parallel(
+        analyzer,
+        contingencies,
+        executor=executor,
+        n_workers=n_workers,
         scheme=scheme,
     )
 

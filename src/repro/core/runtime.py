@@ -113,11 +113,31 @@ class LiveDseRuntime:
         self.use_cache = use_cache
 
     # ------------------------------------------------------------------
-    def run(self, *, rounds: int | None = None, tol: float = 1e-8) -> LiveDseResult:
+    def run(
+        self,
+        *,
+        rounds: int | None = None,
+        tol: float = 1e-8,
+        z: np.ndarray | None = None,
+    ) -> LiveDseResult:
+        """Execute one live distributed estimation.
+
+        ``z`` optionally overrides the system-wide measured values
+        (canonical order of the constructor's ``mset``) — a values-only
+        frame over the warm site estimators, mirroring
+        :meth:`repro.dse.algorithm.DistributedStateEstimator.run`; requires
+        ``use_cache=True``.
+        """
         dec = self.dec
         net = dec.net
         if rounds is None:
             rounds = max(1, dec.diameter())
+        if z is not None:
+            if not self.use_cache:
+                raise ValueError("values-only frames (z=) require use_cache=True")
+            z = np.asarray(z, dtype=float)
+            if len(z) != len(self._dse.mset):
+                raise ValueError("z override length mismatch")
 
         names = [f"se{s}" for s in range(dec.m)]
         pairs = []
@@ -164,7 +184,8 @@ class LiveDseRuntime:
                 if self.use_cache
                 else WlsEstimator(subnet1, ms1, solver=self.solver)
             )
-            res1 = est1.estimate(tol=tol)
+            z1 = self._dse._step1_z(s, z) if z is not None else None
+            res1 = est1.estimate(tol=tol, z=z1)
             st.step1_time = time.perf_counter() - t0
             for i, b in enumerate(own):
                 vm_loc[int(b)] = float(res1.Vm[i])
@@ -207,10 +228,12 @@ class LiveDseRuntime:
                 if self.use_cache and len(ext_known) == len(ext):
                     # Full neighbour coverage: refill the cached merged
                     # structure's pseudo values instead of rebuilding.
-                    est2, z_tmpl, rows_vm, rows_va, src = (
+                    est2, z_tmpl, rows_vm, rows_va, src, rows_ms2 = (
                         self._dse._step2_cache[s]
                     )
                     z2 = z_tmpl.copy()
+                    if z is not None:
+                        z2[rows_ms2] = self._dse._step2_meas_z(s, z)
                     z2[rows_vm] = [known_vm[int(b)] for b in src]
                     z2[rows_va] = [known_va[int(b)] for b in src]
                 else:
@@ -222,8 +245,13 @@ class LiveDseRuntime:
                         np.array([known_vm[b] for b in ext_known]),
                         np.array([known_va[b] for b in ext_known]),
                     )
+                    ms2_round = (
+                        ms2.with_values(self._dse._step2_meas_z(s, z))
+                        if z is not None
+                        else ms2
+                    )
                     est2 = WlsEstimator(
-                        subnet2, ms2.merged_with(pseudo), solver=self.solver
+                        subnet2, ms2_round.merged_with(pseudo), solver=self.solver
                     )
                     z2 = None
 

@@ -80,6 +80,27 @@ class DseSession:
         self.reports: list[FrameReport] = []
 
     # ------------------------------------------------------------------
+    def scenario_service(self, mset: MeasurementSet, **kwargs):
+        """Build a batched :class:`~repro.serving.ScenarioService` over this
+        session's decomposition and executor.
+
+        ``mset`` fixes the template measurement placement; estimation
+        requests then carry values-only ``z`` frames over it.  The session's
+        solver, sensitivity threshold and executor are forwarded (the
+        service shares — and does not shut down — the session's pool);
+        keyword arguments override any service option.
+        """
+        from ..serving import ScenarioService
+
+        opts = dict(
+            executor=self.executor,
+            solver=self.solver,
+            sensitivity_threshold=self.sensitivity_threshold,
+        )
+        opts.update(kwargs)
+        return ScenarioService(self.arch.dec, mset, **opts)
+
+    # ------------------------------------------------------------------
     def process_frame(
         self,
         mset: MeasurementSet,

@@ -19,6 +19,8 @@ cluster substrate.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
 from dataclasses import dataclass, field
 
@@ -26,8 +28,8 @@ import numpy as np
 
 from ..estimation.results import EstimationResult
 from ..estimation.wls import WlsEstimator
-from ..measurements.types import MeasType, MeasurementSet
-from ..parallel import SubsystemExecutor, make_executor
+from ..measurements.types import _TYPE_ORDER, MeasType, MeasurementSet
+from ..parallel import SubsystemExecutor, make_executor, worker_context
 from .decomposition import Decomposition, extract_subnetwork
 from .pseudo import (
     assign_measurements,
@@ -41,6 +43,64 @@ __all__ = ["SubsystemRecord", "DseResult", "DistributedStateEstimator"]
 
 #: bytes per exchanged bus state: (Vm, Va) float64 pair plus a bus id.
 BYTES_PER_EXCHANGED_BUS = 2 * 8 + 8
+
+_TYPE_POS = {t: i for i, t in enumerate(_TYPE_ORDER)}
+
+
+def _localized_perm(
+    mset: MeasurementSet,
+    rows: np.ndarray,
+    bus_map: np.ndarray,
+    branch_map: np.ndarray,
+) -> np.ndarray:
+    """Permutation taking ``mset.z[rows]`` into the canonical order of the
+    localized measurement set built from the same rows.
+
+    ``localize_measurements`` re-canonicalises (type buckets in
+    ``_TYPE_ORDER``, stable element sort within a bucket), so a values-only
+    frame update needs this mapping to scatter fresh ``z`` values into the
+    cached local structures without rebuilding them.
+    """
+    n = len(rows)
+    tidx = np.empty(n, dtype=np.int64)
+    elem = np.empty(n, dtype=np.int64)
+    for i, row in enumerate(rows):
+        m = mset[int(row)]
+        tidx[i] = _TYPE_POS[m.mtype]
+        elem[i] = bus_map[m.element] if m.mtype.is_bus else branch_map[m.element]
+    return np.lexsort((elem, tidx))
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker side: a full (serial) DSE instance lives inside each
+# worker process, built once by the pool initializer, so the warm caches —
+# subnetworks, Jacobian structures, gain-solver orderings, merged pseudo
+# templates — persist across tasks.  Tasks then carry only compact payloads:
+# a measurement vector, a warm-start state and a tolerance.
+# ---------------------------------------------------------------------------
+
+def _dse_worker_state(payload):
+    dec, mset, kwargs = payload
+    return DistributedStateEstimator(
+        dec, mset, executor=None, auto_anchor=False, **kwargs
+    )
+
+
+def _dse_step1_task(args):
+    key, s, z1, x0, tol = args
+    dse = worker_context(key)
+    t0 = time.perf_counter()
+    res = dse._est1[s].estimate(tol=tol, x0=x0, z=z1)
+    return res, time.perf_counter() - t0
+
+
+def _dse_step2_task(args):
+    key, s, z2, x0_vm, x0_va, tol = args
+    dse = worker_context(key)
+    est2 = dse._step2_cache[s][0]
+    t0 = time.perf_counter()
+    res = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+    return res, time.perf_counter() - t0
 
 
 @dataclass
@@ -151,11 +211,13 @@ class DistributedStateEstimator:
         self.mset = mset
         self.solver = solver
         self.update_scope = update_scope
+        self.sensitivity_threshold = sensitivity_threshold
         self.executor = make_executor(executor)
         self.reuse_structures = reuse_structures
         self.warm_start = warm_start
         self.assignment = assign_measurements(dec, mset)
         self.exchange_sets = exchange_bus_sets(dec, threshold=sensitivity_threshold)
+        self._worker_token: str | None = None
 
         if auto_anchor:
             part = dec.part
@@ -180,6 +242,7 @@ class DistributedStateEstimator:
         self.sub2 = {}
         self._est1: dict[int, WlsEstimator] = {}
         self._step2_cache: dict[int, tuple] = {}
+        self._z_index: dict[int, tuple] = {}
         for s in range(dec.m):
             own = dec.buses(s)
             internal = dec.internal_branches(s)
@@ -216,13 +279,110 @@ class DistributedStateEstimator:
             pseudo0 = pseudo_measurements(
                 ext_local, np.ones(len(ext)), np.zeros(len(ext))
             )
-            full0, _, rows_pseudo = ms2.merged_with_positions(pseudo0)
+            full0, rows_ms2, rows_pseudo = ms2.merged_with_positions(pseudo0)
             order = np.argsort(ext_local, kind="stable")
             rows_vm = rows_pseudo[pseudo0.rows(MeasType.V_MAG)]
             rows_va = rows_pseudo[pseudo0.rows(MeasType.PMU_VA)]
             src = ext[order]  # global buses aligned with the sorted rows
             est2 = WlsEstimator(subnet2, full0, solver=self.solver)
-            self._step2_cache[s] = (est2, full0.z, rows_vm, rows_va, src)
+            self._step2_cache[s] = (est2, full0.z, rows_vm, rows_va, src, rows_ms2)
+            # Values-only frame support: permutations taking global-row z
+            # slices into the canonical order of the localized sets.
+            rows1 = self.assignment.step1[s]
+            self._z_index[s] = (
+                rows1,
+                _localized_perm(self.mset, rows1, bmap1, brmap1),
+                rows2,
+                _localized_perm(self.mset, rows2, bmap2, brmap2),
+            )
+
+    # ------------------------------------------------------------------
+    # Values-only frames: fresh measurement vectors over the cached
+    # structures (same placement, new telemetry values).
+    # ------------------------------------------------------------------
+    def _step1_z(self, s: int, z_full: np.ndarray) -> np.ndarray:
+        """Step-1 local measurement vector for a values-only frame."""
+        rows1, perm1, _, _ = self._z_index[s]
+        return z_full[rows1][perm1]
+
+    def _step2_meas_z(self, s: int, z_full: np.ndarray) -> np.ndarray:
+        """Step-2 measured (non-pseudo) local values for a values-only frame."""
+        _, _, rows2, perm2 = self._z_index[s]
+        return z_full[rows2][perm2]
+
+    def _step2_inputs(
+        self,
+        s: int,
+        published_vm: np.ndarray,
+        published_va: np.ndarray,
+        last2: dict,
+        z_full: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compact Step-2 task inputs ``(z, x0_vm, x0_va)`` for subsystem
+        ``s`` — the same arrays regardless of which backend executes the
+        solve, which is what pins process-pool results to serial ones."""
+        _, z_tmpl, rows_vm, rows_va, src, rows_ms2 = self._step2_cache[s]
+        z = z_tmpl.copy()
+        if z_full is not None:
+            z[rows_ms2] = self._step2_meas_z(s, z_full)
+        z[rows_vm] = published_vm[src]
+        z[rows_va] = published_va[src]
+
+        _, bmap2, xbuses, ext, _ = self.sub2[s]
+        if self.warm_start and s in last2:
+            x0_vm, x0_va = last2[s]
+            x0_vm, x0_va = x0_vm.copy(), x0_va.copy()
+            ext_local = bmap2[ext]
+            x0_vm[ext_local] = published_vm[ext]
+            x0_va[ext_local] = published_va[ext]
+        else:
+            x0_vm = published_vm[xbuses]
+            x0_va = published_va[xbuses]
+        return z, x0_vm, x0_va
+
+    # ------------------------------------------------------------------
+    # Process-pool support: worker-resident warm DSE state, keyed by a
+    # structural fingerprint so repeated frames over the same case reuse
+    # the spawned workers (and their caches) instead of restarting them.
+    # ------------------------------------------------------------------
+    def _structure_token(self) -> str:
+        if self._worker_token is None:
+            h = hashlib.sha1()
+            h.update(
+                pickle.dumps(
+                    (
+                        self.solver,
+                        self.update_scope,
+                        float(self.sensitivity_threshold),
+                    )
+                )
+            )
+            h.update(pickle.dumps(self.dec))
+            for t in _TYPE_ORDER:
+                h.update(t.value.encode())
+                h.update(np.ascontiguousarray(self.mset.elements(t)).tobytes())
+            h.update(np.ascontiguousarray(self.mset.sigma).tobytes())
+            self._worker_token = "dse:" + h.hexdigest()
+        return self._worker_token
+
+    def _ensure_worker_context(self) -> str:
+        key = self._structure_token()
+        self.executor.initialize(
+            key,
+            _dse_worker_state,
+            (
+                self.dec,
+                self.mset,
+                dict(
+                    solver=self.solver,
+                    sensitivity_threshold=self.sensitivity_threshold,
+                    update_scope=self.update_scope,
+                    reuse_structures=True,
+                    warm_start=False,
+                ),
+            ),
+        )
+        return key
 
     # ------------------------------------------------------------------
     def run(
@@ -231,18 +391,39 @@ class DistributedStateEstimator:
         rounds: int | None = None,
         tol: float = 1e-8,
         x0: tuple[np.ndarray, np.ndarray] | None = None,
+        z: np.ndarray | None = None,
     ) -> DseResult:
         """Execute Step 1, ``rounds`` of Step 2, and the final aggregation.
 
         ``rounds`` defaults to the decomposition-graph diameter (the paper's
         convergence bound).  ``x0`` optionally warm-starts every local
         Step-1 solve from a previous system state (tracking operation
-        between SCADA scans).
+        between SCADA scans).  ``z`` optionally overrides the system-wide
+        measured values (canonical order of the constructor's ``mset``) —
+        a values-only frame served over the cached structures, which is how
+        the scenario-serving engine pushes repeated estimation rounds
+        through one warm estimator; requires ``reuse_structures=True``.
         """
         dec = self.dec
         net = dec.net
         if rounds is None:
             rounds = max(1, dec.diameter())
+        if z is not None:
+            if not self.reuse_structures:
+                raise ValueError(
+                    "values-only frames (z=) require reuse_structures=True"
+                )
+            z = np.asarray(z, dtype=float)
+            if len(z) != len(self.mset):
+                raise ValueError("z override length mismatch")
+        use_process = getattr(self.executor, "distributed", False)
+        if use_process:
+            if not self.reuse_structures:
+                raise ValueError(
+                    "process-pool execution requires reuse_structures=True "
+                    "(workers hold the warm caches)"
+                )
+            ctx_key = self._ensure_worker_context()
 
         records = {
             s: SubsystemRecord(
@@ -259,22 +440,39 @@ class DistributedStateEstimator:
         Va = np.zeros(net.n_bus)
 
         # ---- DSE Step 1: independent local estimations ----
-        def step1(s: int):
-            subnet1, _, own, ms1 = self.sub1[s]
-            t0 = time.perf_counter()
-            if self.reuse_structures:
-                est = self._est1[s]
-            else:
-                est = WlsEstimator(
-                    subnet1, ms1, solver=self.solver, use_cache=False
-                )
-            local_x0 = None
-            if x0 is not None:
-                local_x0 = (x0[0][own].copy(), x0[1][own].copy())
-            res = est.estimate(tol=tol, x0=local_x0)
-            return res, time.perf_counter() - t0
+        if use_process:
+            # Compact payloads: the local measurement vector, the local
+            # warm start and the tolerance; the estimators live warm
+            # inside the workers.
+            items1 = []
+            for s in range(dec.m):
+                own = dec.buses(s)
+                z1 = self._step1_z(s, z) if z is not None else self.sub1[s][3].z
+                local_x0 = None
+                if x0 is not None:
+                    local_x0 = (x0[0][own].copy(), x0[1][own].copy())
+                items1.append((ctx_key, s, z1, local_x0, tol))
+            step1_out = self.executor.map(_dse_step1_task, items1)
+        else:
+            def step1(s: int):
+                subnet1, _, own, ms1 = self.sub1[s]
+                t0 = time.perf_counter()
+                if self.reuse_structures:
+                    est = self._est1[s]
+                else:
+                    est = WlsEstimator(
+                        subnet1, ms1, solver=self.solver, use_cache=False
+                    )
+                local_x0 = None
+                if x0 is not None:
+                    local_x0 = (x0[0][own].copy(), x0[1][own].copy())
+                z1 = self._step1_z(s, z) if z is not None else None
+                res = est.estimate(tol=tol, x0=local_x0, z=z1)
+                return res, time.perf_counter() - t0
 
-        for s, (res, dt) in enumerate(self.executor.map(step1, range(dec.m))):
+            step1_out = self.executor.map(step1, range(dec.m))
+
+        for s, (res, dt) in enumerate(step1_out):
             own = dec.buses(s)
             records[s].step1_time = dt
             records[s].step1_result = res
@@ -293,43 +491,55 @@ class DistributedStateEstimator:
             published_vm = Vm.copy()
             published_va = Va.copy()
 
-            def step2(s: int):
-                subnet2, bmap2, xbuses, ext, ms2 = self.sub2[s]
-                if self.reuse_structures:
-                    est, z_tmpl, rows_vm, rows_va, src = self._step2_cache[s]
-                    z = z_tmpl.copy()
-                    z[rows_vm] = published_vm[src]
-                    z[rows_va] = published_va[src]
-                else:
-                    # Reference path: rebuild the pseudo measurements, the
-                    # merged set and the estimator from scratch.
-                    ext_local = bmap2[ext]
-                    pseudo = pseudo_measurements(
-                        ext_local, published_vm[ext], published_va[ext]
-                    )
-                    est = WlsEstimator(
-                        subnet2,
-                        ms2.merged_with(pseudo),
-                        solver=self.solver,
-                        use_cache=False,
-                    )
-                    z = None
+            if self.reuse_structures:
+                # One shared input builder for every backend: identical
+                # (z, x0) arrays go into the cached estimators whether the
+                # solve runs inline, on a thread or in a worker process.
+                inputs = [
+                    self._step2_inputs(s, published_vm, published_va, last2, z)
+                    for s in range(dec.m)
+                ]
 
-                if self.warm_start and s in last2:
-                    x0_vm, x0_va = last2[s]
-                    x0_vm, x0_va = x0_vm.copy(), x0_va.copy()
-                    ext_local = bmap2[ext]
-                    x0_vm[ext_local] = published_vm[ext]
-                    x0_va[ext_local] = published_va[ext]
-                else:
-                    x0_vm = published_vm[xbuses]
-                    x0_va = published_va[xbuses]
+            if use_process:
+                items2 = [
+                    (ctx_key, s, inputs[s][0], inputs[s][1], inputs[s][2], tol)
+                    for s in range(dec.m)
+                ]
+                results = self.executor.map(_dse_step2_task, items2)
+            else:
+                def step2(s: int):
+                    subnet2, bmap2, xbuses, ext, ms2 = self.sub2[s]
+                    if self.reuse_structures:
+                        est = self._step2_cache[s][0]
+                        z2, x0_vm, x0_va = inputs[s]
+                    else:
+                        # Reference path: rebuild the pseudo measurements,
+                        # the merged set and the estimator from scratch.
+                        ext_local = bmap2[ext]
+                        pseudo = pseudo_measurements(
+                            ext_local, published_vm[ext], published_va[ext]
+                        )
+                        est = WlsEstimator(
+                            subnet2,
+                            ms2.merged_with(pseudo),
+                            solver=self.solver,
+                            use_cache=False,
+                        )
+                        z2 = None
+                        if self.warm_start and s in last2:
+                            x0_vm, x0_va = last2[s]
+                            x0_vm, x0_va = x0_vm.copy(), x0_va.copy()
+                            x0_vm[ext_local] = published_vm[ext]
+                            x0_va[ext_local] = published_va[ext]
+                        else:
+                            x0_vm = published_vm[xbuses]
+                            x0_va = published_va[xbuses]
 
-                t0 = time.perf_counter()
-                res = est.estimate(x0=(x0_vm, x0_va), tol=tol, z=z)
-                return res, time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    res = est.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+                    return res, time.perf_counter() - t0
 
-            results = self.executor.map(step2, range(dec.m))
+                results = self.executor.map(step2, range(dec.m))
 
             delta = 0.0
             for s, (res, dt) in enumerate(results):

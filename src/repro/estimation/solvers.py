@@ -88,22 +88,26 @@ class GainSolver:
 
     def _solve_lu(self, G: sp.csc_matrix, rhs: np.ndarray) -> np.ndarray:
         try:
-            if self._perm_c is not None and self._pattern_matches(G):
-                # Same pattern as the analysed matrix: apply the cached
-                # fill-reducing ordering up front and run SuperLU with
-                # NATURAL column order, skipping the ordering phase.
-                perm = self._perm_c
-                lu = spla.splu(G[:, perm], permc_spec="NATURAL")
-                y = lu.solve(rhs)
-                dx = np.empty_like(y)
-                dx[perm] = y
-                return dx
-            lu = spla.splu(G)
+            if self._perm_c is None or not self._pattern_matches(G):
+                # Analysis phase: compute the fill-reducing ordering once
+                # for this pattern.  The factorization is then *redone*
+                # below through the same NATURAL-order path warm solves
+                # take, so cold and warm solves perform bit-identical
+                # floating-point arithmetic — the property that pins
+                # serial, thread-pool and process-pool results to each
+                # other no matter which worker's solver is warm.
+                self._perm_c = spla.splu(G).perm_c.copy()
+                self._pattern = (G.shape, G.nnz, G.indptr.copy(), G.indices.copy())
+            # Apply the cached ordering up front and run SuperLU with
+            # NATURAL column order, skipping the ordering phase.
+            perm = self._perm_c
+            lu = spla.splu(G[:, perm], permc_spec="NATURAL")
         except RuntimeError as exc:
             raise GainSolveError(f"gain matrix is singular: {exc}") from exc
-        self._perm_c = lu.perm_c.copy()
-        self._pattern = (G.shape, G.nnz, G.indptr.copy(), G.indices.copy())
-        return lu.solve(rhs)
+        y = lu.solve(rhs)
+        dx = np.empty_like(y)
+        dx[perm] = y
+        return dx
 
     # ------------------------------------------------------------------
     def solve(

@@ -4,36 +4,76 @@ The paper executes DSE Step 1 and each Step-2 round concurrently across
 clusters; this repository's in-process reproduction runs the same solves on
 one machine.  :class:`SubsystemExecutor` abstracts *how* a batch of
 independent per-subsystem tasks is executed so that the DSE algorithm, the
-session pipeline and the parallel contingency analyzer can share one
-mechanism:
+session pipeline, the scenario-serving engine and the parallel contingency
+analyzer can share one mechanism:
 
 - :class:`SerialExecutor` — plain in-order loop (the reference semantics);
 - :class:`ThreadPoolBackend` — ``concurrent.futures`` thread pool with a
   shared work queue (counter-based dynamic balancing: a free worker grabs
   the next task, mirroring Chen et al.'s scheme used by
-  :mod:`repro.contingency.parallel`).
+  :mod:`repro.contingency.parallel`).  Good when the tasks spend their time
+  in GIL-releasing scipy kernels; python-heavy tasks serialize.
+- :class:`ProcessPoolBackend` — persistent worker *processes*.  Workers run
+  a one-time initializer that builds heavy state (case network, Jacobian
+  structures, factorization orderings, estimator caches) **inside** the
+  worker, so the warm caches live across tasks; after that, tasks carry
+  only compact payloads (measurement vectors, outage indices, round ids)
+  and return plain arrays.  This is the true multi-core scale-out path.
 
 Executors only ever run *independent* tasks — callers are responsible for
 snapshotting shared state before a fan-out and applying updates after it,
-which is what keeps thread-pool results bit-identical to serial ones.
+which is what keeps pooled results bit-identical to serial ones.
+
+Process-backend contract
+------------------------
+Functions submitted to :meth:`ProcessPoolBackend.map` must be module-level
+callables (picklable by reference) and their items compact picklable
+values.  Worker-resident state is installed with
+:meth:`ProcessPoolBackend.initialize` and fetched inside tasks with
+:func:`worker_context`; never ship ``Network``/estimator objects per task.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import pickle
 import threading
+import traceback
 from abc import ABC, abstractmethod
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
 __all__ = [
     "SubsystemExecutor",
     "SerialExecutor",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "WorkerError",
+    "worker_context",
     "make_executor",
     "chunked",
 ]
+
+#: Executor spec strings accepted by :func:`make_executor`.
+EXECUTOR_SPECS = (
+    "None/'serial'",
+    "'threads'",
+    "'threads:N'",
+    "'processes'",
+    "'processes:N'",
+    "an int worker count (thread pool)",
+    "a SubsystemExecutor instance",
+)
+
+
+class WorkerError(Exception):
+    """Carries the formatted traceback of an exception raised in a worker
+    process; chained as ``__cause__`` of the re-raised original exception so
+    the remote traceback text survives the process boundary."""
+
+    def __str__(self) -> str:
+        return f"worker-side traceback:\n{self.args[0]}"
 
 
 class SubsystemExecutor(ABC):
@@ -41,6 +81,11 @@ class SubsystemExecutor(ABC):
 
     #: number of concurrent workers the backend can occupy
     n_workers: int = 1
+
+    #: True when tasks run in separate processes (no shared memory with the
+    #: caller); callers must then submit module-level functions with compact
+    #: picklable payloads instead of closures.
+    distributed: bool = False
 
     @abstractmethod
     def map(self, fn: Callable, items: Iterable) -> list:
@@ -88,6 +133,10 @@ class ThreadPoolBackend(SubsystemExecutor):
     balancing: whichever worker finishes first picks up the next task.
     ``worker_index`` is assigned on first task execution per thread, so
     per-worker accounting (busy time, case counts) works from inside tasks.
+
+    The pool itself is created lazily on the first :meth:`map` call, so
+    constructing an executor that is never used costs nothing; a backend
+    used again after :meth:`shutdown` transparently re-creates its pool.
     """
 
     def __init__(self, n_workers: int | None = None):
@@ -96,11 +145,20 @@ class ThreadPoolBackend(SubsystemExecutor):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.n_workers, thread_name_prefix="subsys"
-        )
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
         self._counter = itertools.count()
         self._local = threading.local()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_workers, thread_name_prefix="subsys"
+                )
+                self._counter = itertools.count()
+                self._local = threading.local()
+            return self._pool
 
     def _bind_worker(self) -> int:
         idx = getattr(self._local, "index", None)
@@ -117,13 +175,183 @@ class ThreadPoolBackend(SubsystemExecutor):
             self._bind_worker()
             return fn(item)
 
-        return list(self._pool.map(wrapped, items))
+        return list(self._ensure_pool().map(wrapped, items))
 
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=True)
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadPoolBackend(n_workers={self.n_workers})"
+
+
+# ---------------------------------------------------------------------------
+# Process backend: worker-resident contexts
+# ---------------------------------------------------------------------------
+
+#: Worker-process-resident heavy state, keyed by context token.  Populated
+#: by the pool initializer; read from inside tasks via ``worker_context``.
+_WORKER_CONTEXTS: dict[str, object] = {}
+
+
+def worker_context(key: str):
+    """Fetch worker-resident state installed by the pool initializer.
+
+    Only meaningful inside a task running on a :class:`ProcessPoolBackend`
+    whose :meth:`~ProcessPoolBackend.initialize` registered ``key``.
+    """
+    try:
+        return _WORKER_CONTEXTS[key]
+    except KeyError:
+        raise RuntimeError(
+            f"worker context {key!r} is not initialised in this process; "
+            "register it with ProcessPoolBackend.initialize before map()"
+        ) from None
+
+
+def _pool_initializer(specs: tuple) -> None:
+    """Runs once per worker process: build every registered context."""
+    for key, builder, payload in specs:
+        _WORKER_CONTEXTS[key] = builder(payload)
+
+
+def _invoke_remote(fn: Callable, item):
+    """Worker-side call wrapper: captures exceptions with their traceback
+    text (the parent re-raises them chained to a :class:`WorkerError`), and
+    tags results with the worker pid for load accounting."""
+    try:
+        return True, fn(item), os.getpid()
+    except BaseException as exc:
+        tb = traceback.format_exc()
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+        return False, (exc, tb), os.getpid()
+
+
+class ProcessPoolBackend(SubsystemExecutor):
+    """Persistent worker processes with warm, worker-resident state.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count (default ``min(8, cpu_count)``).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (cheap spawn, copy-on-write) and ``"spawn"`` otherwise.
+
+    Usage shape::
+
+        pool = ProcessPoolBackend(4)
+        pool.initialize("dse:abc123", _build_worker_state, payload)
+        results = pool.map(_task_fn, compact_items)   # workers stay warm
+
+    ``initialize`` registers a one-time per-worker initializer: the builder
+    runs inside each worker when it spawns (lazily, on the first ``map``)
+    and its product is fetched from tasks with :func:`worker_context`.
+    Registering a *new* context key after the workers have spawned restarts
+    the pool — callers key contexts by a structural fingerprint so repeated
+    frames over the same case reuse the warm workers.
+
+    ``map`` requires module-level functions and compact picklable items;
+    exceptions raised in a worker re-raise in the parent with the original
+    traceback text chained as ``WorkerError``.
+    """
+
+    distributed = True
+
+    def __init__(self, n_workers: int | None = None, *, start_method: str | None = None):
+        if n_workers is None:
+            n_workers = min(8, os.cpu_count() or 1)
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        if start_method is None:
+            import multiprocessing as mp
+
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._contexts: dict[str, tuple[Callable, object]] = {}
+        self._installed: set[str] = set()
+
+    # -- worker contexts ----------------------------------------------------
+    def initialize(self, key: str, builder: Callable, payload) -> None:
+        """Register a one-time worker initializer under ``key``.
+
+        ``builder(payload)`` runs in every worker process at spawn time;
+        both must be picklable (``builder`` module-level).  Re-registering
+        an existing key is a no-op; a new key while the pool is live
+        restarts the workers (the one-time warmup cost).
+        """
+        with self._pool_lock:
+            if key in self._contexts:
+                return
+            self._contexts[key] = (builder, payload)
+            if self._pool is not None:
+                pool, self._pool = self._pool, None
+                self._installed = set()
+            else:
+                pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                import multiprocessing as mp
+
+                specs = tuple(
+                    (key, builder, payload)
+                    for key, (builder, payload) in self._contexts.items()
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=mp.get_context(self.start_method),
+                    initializer=_pool_initializer,
+                    initargs=(specs,),
+                )
+                self._installed = set(self._contexts)
+            return self._pool
+
+    # -- execution ----------------------------------------------------------
+    def map(self, fn: Callable, items: Iterable) -> list:
+        results, _ = self.map_with_pids(fn, items)
+        return results
+
+    def map_with_pids(self, fn: Callable, items: Iterable) -> tuple[list, list[int]]:
+        """Like :meth:`map`, also returning the worker pid per task —
+        callers that keep per-worker accounting (busy time, case counts)
+        densify the pids themselves."""
+        pool = self._ensure_pool()
+        futures = [pool.submit(_invoke_remote, fn, item) for item in items]
+        results, pids = [], []
+        for fut in futures:
+            ok, value, pid = fut.result()
+            if not ok:
+                exc, tb = value
+                raise exc from WorkerError(tb)
+            results.append(value)
+            pids.append(pid)
+        return results, pids
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._installed = set()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessPoolBackend(n_workers={self.n_workers}, "
+            f"start_method={self.start_method!r})"
+        )
 
 
 def make_executor(
@@ -131,22 +359,38 @@ def make_executor(
 ) -> SubsystemExecutor:
     """Resolve an executor spec.
 
-    ``None`` or ``"serial"`` — :class:`SerialExecutor`; ``"threads"`` — a
-    :class:`ThreadPoolBackend` with the default worker count; an ``int`` —
-    a thread pool with that many workers; an existing executor instance is
-    passed through.
+    Accepted specs:
+
+    - ``None`` / ``"serial"`` — :class:`SerialExecutor`;
+    - ``"threads"`` / ``"threads:N"`` — :class:`ThreadPoolBackend` with the
+      default / ``N`` workers;
+    - ``"processes"`` / ``"processes:N"`` — :class:`ProcessPoolBackend`
+      with the default / ``N`` worker processes;
+    - an ``int`` — a thread pool with that many workers;
+    - an existing :class:`SubsystemExecutor` instance — passed through.
     """
     if spec is None or spec == "serial":
         return SerialExecutor()
-    if spec == "threads":
-        return ThreadPoolBackend()
-    if isinstance(spec, int):
+    if isinstance(spec, str):
+        name, _, count = spec.partition(":")
+        n_workers: int | None = None
+        if count:
+            try:
+                n_workers = int(count)
+            except ValueError:
+                n_workers = -1  # rejected below with the full spec list
+        if n_workers is None or n_workers >= 1:
+            if name == "threads":
+                return ThreadPoolBackend(n_workers)
+            if name == "processes":
+                return ProcessPoolBackend(n_workers)
+    if isinstance(spec, int) and not isinstance(spec, bool):
         return ThreadPoolBackend(spec)
     if isinstance(spec, SubsystemExecutor):
         return spec
     raise ValueError(
-        f"executor must be None, 'serial', 'threads', an int worker count "
-        f"or a SubsystemExecutor, got {spec!r}"
+        f"unrecognised executor spec {spec!r}; accepted specs: "
+        + ", ".join(EXECUTOR_SPECS)
     )
 
 

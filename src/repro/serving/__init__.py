@@ -1,0 +1,20 @@
+"""Batched scenario serving: coalesce estimation / contingency requests
+into batches and stream results back over a shared executor backend."""
+
+from .requests import (
+    ContingencyRequest,
+    EstimationRequest,
+    ScenarioRequest,
+    ScenarioResult,
+    ServiceStats,
+)
+from .service import ScenarioService
+
+__all__ = [
+    "ContingencyRequest",
+    "EstimationRequest",
+    "ScenarioRequest",
+    "ScenarioResult",
+    "ScenarioService",
+    "ServiceStats",
+]

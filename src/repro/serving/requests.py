@@ -1,0 +1,93 @@
+"""Request / result / statistics containers for the scenario service.
+
+A *scenario* is one unit of serving work against the monitored system:
+
+- :class:`EstimationRequest` — run a full two-step DSE frame, optionally
+  with fresh measured values (``z``, canonical order of the service's
+  template measurement set);
+- :class:`ContingencyRequest` — screen a single branch outage against the
+  service's analyzer.
+
+Results stream back as :class:`ScenarioResult` records carrying the solved
+value plus serving metadata (queue-to-resolution latency, the size of the
+batch the request was coalesced into).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..contingency.screening import Contingency
+
+__all__ = [
+    "EstimationRequest",
+    "ContingencyRequest",
+    "ScenarioRequest",
+    "ScenarioResult",
+    "ServiceStats",
+]
+
+
+@dataclass(frozen=True)
+class EstimationRequest:
+    """One DSE estimation frame.
+
+    ``z`` optionally carries fresh measured values over the service's
+    template placement (values-only frame — the warm cached structures are
+    reused); ``None`` re-estimates the template snapshot.
+    """
+
+    z: np.ndarray | None = None
+    rounds: int | None = None
+    tol: float = 1e-8
+
+
+@dataclass(frozen=True)
+class ContingencyRequest:
+    """One N-1 branch-outage screening case."""
+
+    contingency: Contingency
+
+
+#: Anything the service accepts through ``submit``.
+ScenarioRequest = EstimationRequest | ContingencyRequest
+
+
+@dataclass
+class ScenarioResult:
+    """A served scenario: the solved value plus serving metadata."""
+
+    request: "ScenarioRequest"
+    value: object
+    latency: float
+    batch_size: int
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate serving statistics (updated as batches resolve)."""
+
+    n_requests: int = 0
+    n_batches: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    def latency_percentile(self, p: float) -> float:
+        """Latency percentile in seconds (``p`` in [0, 100])."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, p))
+
+    @property
+    def throughput_window(self) -> float:
+        """Scenarios per second over the sum of recorded latencies' span —
+        callers timing a closed workload should prefer wall-clock timing;
+        this is a rough live indicator."""
+        total = sum(self.latencies)
+        return self.n_requests / total if total > 0 else 0.0

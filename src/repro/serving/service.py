@@ -1,0 +1,307 @@
+"""Batched scenario-serving engine over the executor backends.
+
+``ScenarioService`` is the serving shape the scale-out papers converge on
+(batch many independent area solves into one warm engine): callers submit
+estimation frames and contingency cases from any thread; a dispatcher
+coalesces them into batches — bounded by ``max_batch`` and a flush-latency
+window — and fans each batch out across the shared executor with dynamic
+balancing.  Results stream back through futures as they resolve.
+
+Two estimation engines are supported:
+
+- ``engine="dse"`` — the in-process
+  :class:`~repro.dse.algorithm.DistributedStateEstimator` (warm caches,
+  any executor backend including process pools);
+- ``engine="live"`` — the thread-per-site
+  :class:`~repro.core.runtime.LiveDseRuntime`, serving frames over live
+  middleware pipelines (values-only frames through the same warm caches).
+
+Contingency batches go through
+:func:`repro.contingency.parallel.run_parallel`, sharing the service's
+executor — with a process pool, the analyzer ships to each worker once and
+every case is a compact payload.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, as_completed
+from typing import Iterable, Iterator
+
+from ..contingency.analysis import ContingencyAnalyzer
+from ..contingency.parallel import run_parallel
+from ..contingency.screening import Contingency
+from ..dse.algorithm import DistributedStateEstimator
+from ..dse.decomposition import Decomposition
+from ..measurements.types import MeasurementSet
+from ..parallel import SubsystemExecutor, make_executor
+from .requests import (
+    ContingencyRequest,
+    EstimationRequest,
+    ScenarioResult,
+    ServiceStats,
+)
+
+__all__ = ["ScenarioService"]
+
+_SHUTDOWN = object()
+
+
+class ScenarioService:
+    """Accepts many estimation / contingency requests and serves them in
+    coalesced batches over a shared executor.
+
+    Parameters
+    ----------
+    dec, mset:
+        The decomposition and the template measurement snapshot (fixes the
+        placement; estimation requests carry values-only ``z`` frames over
+        it).
+    executor:
+        Any :func:`repro.parallel.make_executor` spec; spec-created
+        executors are owned (and shut down) by the service, instances are
+        shared with the caller.
+    engine:
+        ``"dse"`` (in-process estimator) or ``"live"`` (thread-per-site
+        middleware runtime) for estimation requests.
+    analyzer:
+        Contingency analyzer; built from ``dec.net`` with
+        ``contingency_method`` when omitted.
+    max_batch:
+        Largest batch one dispatch may coalesce.
+    flush_latency:
+        Seconds the dispatcher waits for the batch to fill before flushing
+        a partial one (the latency the first request in a batch is willing
+        to trade for throughput).
+    solver, sensitivity_threshold, rounds, tol:
+        Estimation defaults, forwarded to the engine.
+    """
+
+    def __init__(
+        self,
+        dec: Decomposition,
+        mset: MeasurementSet,
+        *,
+        executor: "SubsystemExecutor | str | int | None" = None,
+        engine: str = "dse",
+        analyzer: ContingencyAnalyzer | None = None,
+        contingency_method: str = "dc",
+        max_batch: int = 32,
+        flush_latency: float = 2e-3,
+        solver: str = "lu",
+        sensitivity_threshold: float = 0.5,
+        rounds: int | None = None,
+        tol: float = 1e-8,
+        use_tcp: bool = False,
+    ):
+        if engine not in ("dse", "live"):
+            raise ValueError("engine must be 'dse' or 'live'")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if flush_latency < 0:
+            raise ValueError("flush_latency must be >= 0")
+        self._own_executor = not isinstance(executor, SubsystemExecutor)
+        self.executor = make_executor(executor)
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.flush_latency = float(flush_latency)
+        self.rounds = rounds
+        self.tol = tol
+
+        if engine == "dse":
+            self._dse = DistributedStateEstimator(
+                dec,
+                mset,
+                solver=solver,
+                sensitivity_threshold=sensitivity_threshold,
+                executor=self.executor,
+            )
+            self._runtime = None
+        else:
+            from ..core.runtime import LiveDseRuntime
+
+            self._dse = None
+            self._runtime = LiveDseRuntime(
+                dec,
+                mset,
+                solver=solver,
+                sensitivity_threshold=sensitivity_threshold,
+                use_cache=True,
+                use_tcp=use_tcp,
+            )
+        self.analyzer = analyzer or ContingencyAnalyzer(
+            dec.net, method=contingency_method
+        )
+
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue()
+        self._dispatcher: threading.Thread | None = None
+        self._dispatch_lock = threading.Lock()
+        self._closed = False
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, request) -> Future:
+        """Enqueue a request; returns a future resolving to a
+        :class:`~repro.serving.requests.ScenarioResult`."""
+        if not isinstance(request, (EstimationRequest, ContingencyRequest)):
+            raise TypeError(
+                "submit expects an EstimationRequest or ContingencyRequest, "
+                f"got {type(request).__name__}"
+            )
+        if self._closed:
+            raise RuntimeError("ScenarioService is closed")
+        self._ensure_dispatcher()
+        fut: Future = Future()
+        self._queue.put((request, fut, time.perf_counter()))
+        return fut
+
+    def submit_estimation(
+        self,
+        z=None,
+        *,
+        rounds: int | None = None,
+        tol: float | None = None,
+    ) -> Future:
+        return self.submit(
+            EstimationRequest(
+                z=z,
+                rounds=rounds if rounds is not None else self.rounds,
+                tol=tol if tol is not None else self.tol,
+            )
+        )
+
+    def submit_contingency(self, contingency: Contingency) -> Future:
+        return self.submit(ContingencyRequest(contingency))
+
+    def submit_contingencies(self, contingencies: Iterable[Contingency]) -> list[Future]:
+        return [self.submit_contingency(c) for c in contingencies]
+
+    # -- bulk / streaming ---------------------------------------------------
+    def run(self, requests: Iterable) -> list[ScenarioResult]:
+        """Submit every request and wait; results in request order."""
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    def stream(self, requests: Iterable) -> Iterator[ScenarioResult]:
+        """Submit every request, yielding results in completion order."""
+        futures = [self.submit(r) for r in requests]
+        for fut in as_completed(futures):
+            yield fut.result()
+
+    # -- dispatcher ---------------------------------------------------------
+    def _ensure_dispatcher(self) -> None:
+        with self._dispatch_lock:
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name="scenario-dispatch",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            deadline = time.perf_counter() + self.flush_latency
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(nxt)
+            self._execute_batch(batch)
+            if stop:
+                return
+
+    def _execute_batch(self, batch: list) -> None:
+        size = len(batch)
+        cons = [it for it in batch if isinstance(it[0], ContingencyRequest)]
+        ests = [it for it in batch if isinstance(it[0], EstimationRequest)]
+
+        if cons:
+            try:
+                report = run_parallel(
+                    self.analyzer,
+                    [it[0].contingency for it in cons],
+                    executor=self.executor,
+                    scheme="dynamic",
+                )
+                for it, res in zip(cons, report.results):
+                    self._resolve(it, res, size)
+            except BaseException as exc:
+                for _, fut, _ in cons:
+                    if not fut.done():
+                        fut.set_exception(exc)
+
+        for it in ests:
+            req = it[0]
+            try:
+                value = self._run_estimation(req)
+            except BaseException as exc:
+                it[1].set_exception(exc)
+            else:
+                self._resolve(it, value, size)
+
+        with self._stats_lock:
+            self.stats.n_batches += 1
+            self.stats.batch_sizes.append(size)
+
+    def _run_estimation(self, req: EstimationRequest):
+        if self._dse is not None:
+            return self._dse.run(rounds=req.rounds, tol=req.tol, z=req.z)
+        return self._runtime.run(rounds=req.rounds, tol=req.tol, z=req.z)
+
+    def _resolve(self, item, value, batch_size: int) -> None:
+        request, fut, t_submit = item
+        latency = time.perf_counter() - t_submit
+        with self._stats_lock:
+            self.stats.n_requests += 1
+            self.stats.latencies.append(latency)
+        fut.set_result(
+            ScenarioResult(
+                request=request,
+                value=value,
+                latency=latency,
+                batch_size=batch_size,
+            )
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Drain the dispatcher and release owned resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._dispatch_lock:
+            dispatcher = self._dispatcher
+        if dispatcher is not None:
+            self._queue.put(_SHUTDOWN)
+            dispatcher.join()
+        if self._own_executor:
+            self.executor.shutdown()
+
+    def __enter__(self) -> "ScenarioService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScenarioService(engine={self.engine!r}, "
+            f"executor={self.executor!r}, max_batch={self.max_batch}, "
+            f"flush_latency={self.flush_latency})"
+        )

@@ -3,6 +3,7 @@
 Example::
 
     python -m repro.tools.contingency --case case118 --margin 1.5 --workers 4
+    python -m repro.tools.contingency --case case118 --executor processes:4
 """
 
 from __future__ import annotations
@@ -12,7 +13,7 @@ import sys
 
 import numpy as np
 
-from ..contingency import ContingencyAnalyzer, enumerate_n1, run_parallel_threads
+from ..contingency import ContingencyAnalyzer, enumerate_n1, run_parallel
 from ..estimation import estimate_state
 from ..grid.powerflow import run_ac_power_flow
 from ..measurements import full_placement, generate_measurements
@@ -31,6 +32,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rating margin over base-case flows")
     p.add_argument("--method", default="dc", choices=["dc", "ac"])
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--executor", default=None,
+                   help="executor spec (serial | threads[:N] | processes[:N]); "
+                        "overrides --workers with its own pool")
     p.add_argument("--scheme", default="dynamic", choices=["static", "dynamic"])
     p.add_argument("--top", type=int, default=5, help="worst cases to print")
     p.add_argument("--seed", type=int, default=0)
@@ -54,12 +58,17 @@ def main(argv: list[str] | None = None) -> int:
     analyzer = ContingencyAnalyzer.from_estimate(
         net, estimate, method=args.method, rating_margin=args.margin
     )
-    report = run_parallel_threads(
-        analyzer, safe, n_workers=args.workers, scheme=args.scheme
+    report = run_parallel(
+        analyzer,
+        safe,
+        executor=args.executor,
+        n_workers=args.workers,
+        scheme=args.scheme,
     )
+    backend = args.executor or f"{args.workers} threads"
     insecure = [r for r in report.results if not r.secure]
-    print(f"screened in {report.makespan * 1e3:.1f} ms with {args.workers} "
-          f"{args.scheme} workers; insecure: {len(insecure)}/{len(safe)}")
+    print(f"screened in {report.makespan * 1e3:.1f} ms on {backend} "
+          f"({args.scheme}); insecure: {len(insecure)}/{len(safe)}")
 
     worst = sorted(report.results, key=lambda r: -r.max_loading)[: args.top]
     print(f"\nworst {len(worst)} cases:")

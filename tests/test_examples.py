@@ -30,6 +30,7 @@ def _load(name: str):
         ("pmu_streaming", "normalized-residual"),
         ("contingency_analysis", "speedup"),
         ("adaptive_operations", "frames"),
+        ("serve_scenarios", "batches"),
     ],
 )
 def test_example_runs(capsys, name, marker):
