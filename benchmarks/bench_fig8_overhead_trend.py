@@ -46,3 +46,36 @@ def test_fig8_overhead_linear_trend(benchmark):
         # inverse slope = relay rate ≈ 0.4 GB/s
         assert 1 / slope == pytest.approx(0.4e9, rel=0.05)
 
+
+def test_fig8_fastpath_overhead_series(benchmark):
+    """Figure 8 with the PR-3 fast path overlaid: the multiplexed relay
+    keeps the linear trend (it is still one store-and-forward copy) but
+    with a steeper effective relay rate, so its overhead line lies
+    strictly below the legacy line at every size."""
+    topo = pnnl_testbed()
+    legacy = MiddlewareCostModel()
+    fast = MiddlewareCostModel(relay_rate=2 * legacy.relay_rate,
+                               pipeline_overhead=1e-4)
+    sizes = np.array([100e6, 200e6, 500e6, 1000e6, 2000e6])
+    link = topo.link("nwiceb", "chinook")
+
+    ov_legacy = benchmark(_series, sizes, legacy, link)
+    ov_fast = _series(sizes, fast, link)
+
+    print("\nFigure 8 with the fast-path series")
+    print(f"{'size (MB)':>9} | {'overhead legacy (s)':>19} | "
+          f"{'overhead fast (s)':>17}")
+    for s, o1, o2 in zip(sizes, ov_legacy, ov_fast):
+        print(f"{s / 1e6:9.0f} | {o1:19.3f} | {o2:17.3f}")
+
+    # linear trend survives; fast line is below legacy everywhere
+    A = np.column_stack([sizes, np.ones_like(sizes)])
+    coef, *_ = np.linalg.lstsq(A, ov_fast, rcond=None)
+    pred = A @ coef
+    r2 = 1 - np.sum((ov_fast - pred) ** 2) / np.sum((ov_fast - ov_fast.mean()) ** 2)
+    print(f"fast-path fit: slope {coef[0] * 1e9:.3f} s/GB, R^2 = {r2:.6f}")
+    assert r2 > 0.999
+    assert coef[0] > 0
+    assert 1 / coef[0] == pytest.approx(fast.relay_rate, rel=0.05)
+    assert np.all(ov_fast < ov_legacy)
+

@@ -70,3 +70,39 @@ def test_table4_remote_overhead(benchmark):
     rate = nbytes / (t4 - t3)
     print(f"implied relay rate: {rate / GB:.2f} GB/s (paper: ~0.4)")
     assert rate == pytest.approx(0.4e9, rel=0.2)
+
+
+def test_table4_fastpath_projection(benchmark):
+    """Project Table IV onto the PR-3 fast path.
+
+    The fast path removes the per-transfer dial and handshake from the
+    relay hop (persistent pooled links, one mux connection per site) and
+    forwards header+payload with scatter-gather writes instead of a
+    re-framing copy.  Model that as the same linear relay with a higher
+    effective relay rate and a near-zero fixed pipeline cost, and check
+    the *shape*: every relayed cell improves, the direct column is
+    untouched, and the overhead stays linear in size."""
+    topo = pnnl_testbed()
+    legacy = MiddlewareCostModel()
+    # conservative fast-path calibration: the local measurement
+    # (bench_middleware_fastpath) shows >2x relay-rate improvement and a
+    # pooled link amortises the per-transfer pipeline setup away
+    fast = MiddlewareCostModel(relay_rate=2 * legacy.relay_rate,
+                               pipeline_overhead=1e-4)
+    rows = benchmark(_rows, topo, legacy)
+    link = topo.link("nwiceb", "chinook")
+
+    print("\nTable IV projected onto the fast path")
+    print(f"{'size':>7} | {'T4 legacy (s)':>13} | {'T4 fast (s)':>11} | "
+          f"{'ovh legacy':>10} | {'ovh fast':>8}")
+    for nbytes, t3, t4, *_ in rows:
+        t4_fast = fast.relayed_time(nbytes, link)
+        ov_legacy = t4 - t3
+        ov_fast = t4_fast - t3
+        print(f"{nbytes / MB:5.0f}MB | {t4:13.3f} | {t4_fast:11.3f} | "
+              f"{ov_legacy:10.3f} | {ov_fast:8.3f}")
+        # direct column is untouched; relayed column strictly improves
+        assert fast.direct_time(nbytes, link) == t3
+        assert t3 < t4_fast < t4
+        # overhead shrinks by about the relay-rate ratio
+        assert ov_fast == pytest.approx(ov_legacy / 2, rel=0.1)

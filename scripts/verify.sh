@@ -21,4 +21,7 @@ python examples/quickstart.py
 echo "== scenario serving smoke (tiny batch) =="
 python examples/serve_scenarios.py --tiny
 
+echo "== middleware round-trip smoke (inproc + localhost TCP) =="
+python examples/middleware_roundtrip.py
+
 echo "verify: OK"

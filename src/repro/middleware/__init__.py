@@ -2,12 +2,20 @@
 
 from .client import DataBuffer, EndpointRegistry, MWClient
 from .endpoints import Endpoint, parse_endpoint
+from .fastpath import InprocMuxRouter, MuxRouter
 from .message import (
     MAX_FRAME,
+    MUX_HEADER,
     FrameError,
+    PeerClosed,
+    StreamReader,
     pack_state_update,
     recv_frame,
+    recv_mux_frame,
     send_frame,
+    send_frames,
+    send_mux_frame,
+    send_mux_frames,
     unpack_state_update,
 )
 from .pipeline import MifComponent, MifPipeline
@@ -24,9 +32,18 @@ __all__ = [
     "Endpoint",
     "parse_endpoint",
     "FrameError",
+    "PeerClosed",
     "MAX_FRAME",
+    "MUX_HEADER",
+    "StreamReader",
     "send_frame",
+    "send_frames",
     "recv_frame",
+    "send_mux_frame",
+    "send_mux_frames",
+    "recv_mux_frame",
+    "MuxRouter",
+    "InprocMuxRouter",
     "pack_state_update",
     "unpack_state_update",
     "Connection",

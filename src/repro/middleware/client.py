@@ -5,13 +5,31 @@
 resolves its URL through the registry and moves the data, with the
 middleware pipelines doing the routing.  Received data lands in a local
 :class:`DataBuffer` that the data processor drains.
+
+Fast-path behaviour (on by default):
+
+- **Persistent connection pooling** — ``send`` keeps one long-lived
+  connection per destination URL (lazy dial, reuse across sends, idle
+  reaping after ``pool_idle_timeout``, one transparent re-dial on a broken
+  pipe).  ``pool=False`` restores the legacy connect-per-message pattern
+  (kept for the overhead benchmarks).
+- **Event-driven receive** — a TCP server runs one ``selectors`` loop over
+  the listening socket and every accepted connection (frames reassembled
+  incrementally via ``recv_into``, no per-connection polling threads);
+  inproc servers block on their queues and are woken by EOF sentinels.
+- **Batch coalescing** — ``send_many`` rides all frames to one destination
+  on a single scatter-gather syscall.
 """
 
 from __future__ import annotations
 
 import queue
+import selectors
+import socket
 import threading
+import time
 
+from .message import FrameError, PeerClosed, StreamReader
 from .transports import InprocTransport, transport_for
 
 __all__ = ["DataBuffer", "EndpointRegistry", "MWClient"]
@@ -69,6 +87,13 @@ class MWClient:
         destination site).
     inproc:
         Shared in-process transport when inproc URLs are used.
+    pool:
+        Keep one persistent connection per destination URL (default).
+        ``False`` dials a fresh connection per message — the legacy
+        pattern, kept for overhead comparisons.
+    pool_idle_timeout:
+        Close pooled connections unused for this many seconds (reaped
+        opportunistically on the next send).
     """
 
     def __init__(
@@ -77,17 +102,29 @@ class MWClient:
         registry: EndpointRegistry,
         *,
         inproc: InprocTransport | None = None,
+        pool: bool = True,
+        pool_idle_timeout: float = 30.0,
     ):
         self.name = name
         self.registry = registry
         self.inproc = inproc
+        self.pool = pool
+        self.pool_idle_timeout = pool_idle_timeout
         self.buffer = DataBuffer()
         self._listener = None
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        self._pool: dict[str, object] = {}
+        self._pool_last: dict[str, float] = {}
+        self._pool_lock = threading.Lock()
+        self._accepted: list = []
+        self._waker: socket.socket | None = None
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.dials = 0
 
+    # ------------------------------------------------------------------
+    # receive side
     # ------------------------------------------------------------------
     def serve(self, url: str) -> str:
         """Start receiving at ``url``; returns the bound URL (tcp port 0 is
@@ -96,18 +133,83 @@ class MWClient:
         self._listener = transport.listen(url)
         bound = self._listener.endpoint.url
         self.registry.register(self.name, bound)
+        target = (
+            self._serve_loop_tcp
+            if self._listener.endpoint.scheme == "tcp"
+            else self._serve_loop_inproc
+        )
         self._thread = threading.Thread(
-            target=self._serve_loop, name=f"mw-{self.name}", daemon=True
+            target=target, name=f"mw-{self.name}", daemon=True
         )
         self._thread.start()
         return bound
 
-    def _serve_loop(self) -> None:
+    def _deliver(self, payload) -> None:
+        """Account for and enqueue one received payload (also the sink for
+        fast-path mux links attached by the fabric)."""
+        self.bytes_received += len(payload)
+        self.buffer.put(payload)
+
+    # -- TCP: one selector loop over the listener and every connection --
+    def _serve_loop_tcp(self) -> None:
+        sel = selectors.DefaultSelector()
+        lsock = self._listener._sock
+        lsock.setblocking(False)
+        wake_r, wake_w = socket.socketpair()
+        wake_r.setblocking(False)
+        self._waker = wake_w
+        sel.register(lsock, selectors.EVENT_READ, ("accept", None))
+        sel.register(wake_r, selectors.EVENT_READ, ("wake", None))
+        try:
+            while not self._stop.is_set():
+                for key, _ in sel.select():
+                    kind, reader = key.data
+                    if kind == "wake":
+                        try:
+                            key.fileobj.recv(64)
+                        except OSError:  # pragma: no cover - shutdown race
+                            pass
+                    elif kind == "accept":
+                        try:
+                            conn, _ = lsock.accept()
+                        except OSError:
+                            continue
+                        conn.setblocking(False)
+                        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                        sel.register(
+                            conn, selectors.EVENT_READ, ("conn", StreamReader())
+                        )
+                    else:
+                        sock = key.fileobj
+                        try:
+                            for payload in reader.feed(sock):
+                                self._deliver(payload)
+                        except (PeerClosed, FrameError, OSError):
+                            try:
+                                sel.unregister(sock)
+                            except KeyError:  # pragma: no cover - defensive
+                                pass
+                            sock.close()
+        finally:
+            for key in list(sel.get_map().values()):
+                try:
+                    sel.unregister(key.fileobj)
+                    key.fileobj.close()
+                except (OSError, KeyError):  # pragma: no cover - defensive
+                    pass
+            sel.close()
+            wake_r.close()
+
+    # -- inproc: blocking accept/recv, woken by queue sentinels --
+    def _serve_loop_inproc(self) -> None:
         while not self._stop.is_set():
             try:
-                conn = self._listener.accept(timeout=0.2)
+                conn = self._listener.accept()
             except (TimeoutError, OSError):
+                if self._stop.is_set():
+                    break
                 continue
+            self._accepted.append(conn)
             threading.Thread(
                 target=self._drain, args=(conn,), daemon=True
             ).start()
@@ -116,17 +218,62 @@ class MWClient:
         try:
             while not self._stop.is_set():
                 try:
-                    payload = conn.recv_bytes(timeout=0.2)
-                except TimeoutError:
-                    continue
+                    payload = conn.recv_bytes()  # blocks; EOF sentinel wakes
                 except Exception:
                     break
-                self.bytes_received += len(payload)
-                self.buffer.put(payload)
+                self._deliver(payload)
         finally:
             conn.close()
 
     # ------------------------------------------------------------------
+    # send side: persistent pooled connections
+    # ------------------------------------------------------------------
+    def _dial(self, url: str):
+        transport = transport_for(url, inproc=self.inproc)
+        self.dials += 1
+        return transport.connect(url)
+
+    def _checkout(self, url: str):
+        """Pooled connection for ``url``: lazy dial + idle reaping."""
+        now = time.monotonic()
+        with self._pool_lock:
+            for u in [
+                u
+                for u, last in self._pool_last.items()
+                if u != url and now - last > self.pool_idle_timeout
+            ]:
+                self._pool.pop(u).close()
+                del self._pool_last[u]
+            conn = self._pool.get(url)
+            if conn is None:
+                conn = self._dial(url)
+                self._pool[url] = conn
+            self._pool_last[url] = now
+            return conn
+
+    def _discard(self, url: str, conn) -> None:
+        with self._pool_lock:
+            if self._pool.get(url) is conn:
+                del self._pool[url]
+                self._pool_last.pop(url, None)
+        conn.close()
+
+    def _send_pooled(self, url: str, op) -> None:
+        conn = self._checkout(url)
+        try:
+            op(conn)
+        except (ConnectionError, OSError, RuntimeError) as exc:
+            if isinstance(exc, FrameError):
+                raise  # framing errors are not connection failures
+            # stale pooled connection (peer restarted / idle-closed):
+            # drop it and retry once on a fresh dial
+            self._discard(url, conn)
+            with self._pool_lock:
+                conn = self._dial(url)
+                self._pool[url] = conn
+                self._pool_last[url] = time.monotonic()
+            op(conn)
+
     def send(self, destination: str, payload: bytes) -> None:
         """``MW_Client_Send``: deliver ``payload`` toward ``destination``.
 
@@ -134,10 +281,30 @@ class MWClient:
         (e.g. a middleware pipeline inbound endpoint).
         """
         url = destination if "://" in destination else self.registry.resolve(destination)
-        transport = transport_for(url, inproc=self.inproc)
-        with transport.connect(url) as conn:
-            conn.send_bytes(payload)
+        if not self.pool:
+            transport = transport_for(url, inproc=self.inproc)
+            self.dials += 1
+            with transport.connect(url) as conn:
+                conn.send_bytes(payload)
+        else:
+            self._send_pooled(url, lambda conn: conn.send_bytes(payload))
         self.bytes_sent += len(payload)
+
+    def send_many(self, destination: str, payloads) -> None:
+        """Deliver several payloads toward one destination, coalesced into
+        a single scatter-gather syscall on TCP."""
+        payloads = list(payloads)
+        if not payloads:
+            return
+        url = destination if "://" in destination else self.registry.resolve(destination)
+        if not self.pool:
+            transport = transport_for(url, inproc=self.inproc)
+            self.dials += 1
+            with transport.connect(url) as conn:
+                conn.send_many(payloads)
+        else:
+            self._send_pooled(url, lambda conn: conn.send_many(payloads))
+        self.bytes_sent += sum(len(p) for p in payloads)
 
     def recv(self, timeout: float | None = 5.0) -> bytes:
         """``MW_Client_Recv``: take the next payload from the local buffer."""
@@ -145,5 +312,20 @@ class MWClient:
 
     def close(self) -> None:
         self._stop.set()
+        with self._pool_lock:
+            for conn in self._pool.values():
+                conn.close()
+            self._pool.clear()
+            self._pool_last.clear()
+        if self._waker is not None:
+            try:
+                self._waker.send(b"x")
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._waker.close()
+            self._waker = None
         if self._listener is not None:
             self._listener.close()
+        for conn in self._accepted:
+            conn.close()
+        self._accepted.clear()

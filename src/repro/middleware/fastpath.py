@@ -1,0 +1,336 @@
+"""Multiplexed fast-path data plane: one router hop, pooled duplex links.
+
+The legacy data plane dials a fresh TCP connection per message and runs one
+relay pipeline per (src, dst) pair.  The fast path replaces that with a
+single **mux router**: every site keeps exactly one long-lived duplex
+connection to the hub, frames carry ``(src, dst)`` ids in a compact binary
+header (:data:`~repro.middleware.message.MUX_HEADER`), and the hub forwards
+a frame to the destination's connection without re-dialing — store-and-
+forward routing with per-pair statistics, like the per-pair pipelines, but
+over ``m`` sockets instead of ``m²`` dials.
+
+Two interchangeable hubs:
+
+- :class:`MuxRouter` — real localhost TCP; one ``selectors`` loop services
+  every connection (no polling threads), reassembling frames incrementally
+  with :class:`~repro.middleware.message.StreamReader` and forwarding
+  header+payload via scatter-gather ``sendmsg``.
+- :class:`InprocMuxRouter` — queue-based, for single-process fabrics; the
+  router thread blocks on its inbox (event-driven, no timeouts).
+
+Attachment protocol (TCP): a site dials the hub, sends a HELLO control
+frame carrying its id, and waits for the hub's ACK before returning — so
+once every site is attached, no data frame can race an unregistered
+destination.
+"""
+
+from __future__ import annotations
+
+import queue
+import selectors
+import socket
+import threading
+
+from .endpoints import parse_endpoint
+from .message import (
+    FLAG_CONTROL,
+    FrameError,
+    MUX_HEADER,
+    MUX_VERSION,
+    PeerClosed,
+    StreamReader,
+    recv_mux_frame,
+    send_mux_frame,
+    send_mux_frames,
+    sendmsg_all,
+)
+from .transports import _size_socket_buffers
+
+__all__ = ["MuxRouter", "InprocMuxRouter"]
+
+
+class _TcpMuxLink:
+    """A site's single duplex connection to the TCP hub."""
+
+    def __init__(self, sock: socket.socket, my_id: int, deliver):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self.my_id = my_id
+        self._deliver = deliver
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._recv_loop, name=f"mux-link-{my_id}", daemon=True
+        )
+        self._reader.start()
+
+    def _recv_loop(self) -> None:
+        while True:
+            try:
+                flags, _src, _dst, payload = recv_mux_frame(self._sock)
+            except (FrameError, OSError, ValueError):
+                return
+            if flags & FLAG_CONTROL:
+                continue
+            self._deliver(payload)
+
+    def send(self, dst: int, payload) -> None:
+        with self._send_lock:
+            send_mux_frame(self._sock, self.my_id, dst, payload)
+
+    def send_many(self, frames) -> None:
+        """``frames`` is an iterable of ``(dst, payload)``; all of them
+        ride one scatter-gather syscall."""
+        with self._send_lock:
+            send_mux_frames(self._sock, self.my_id, frames)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class MuxRouter:
+    """TCP hub: accepts site links, routes mux frames by destination id.
+
+    One selector loop owns every socket; per-(src, dst) frame/byte counts
+    are kept for the fabric's relay statistics.
+    """
+
+    def __init__(self):
+        self._sel = selectors.DefaultSelector()
+        self._lsock: socket.socket | None = None
+        self._routes: dict[int, socket.socket] = {}
+        self._stats: dict[tuple[int, int], list[int]] = {}
+        self._stats_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._waker_r: socket.socket | None = None
+        self._waker_w: socket.socket | None = None
+        self.endpoint: str | None = None
+        self.frames_dropped = 0
+
+    # ------------------------------------------------------------------
+    def start(self, url: str = "tcp://127.0.0.1:0") -> str:
+        ep = parse_endpoint(url)
+        if ep.scheme != "tcp":
+            raise ValueError(f"MuxRouter needs a tcp endpoint, got {url!r}")
+        self._lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        # accepted link sockets inherit the buffer sizing
+        _size_socket_buffers(self._lsock)
+        self._lsock.bind((ep.host, ep.port or 0))
+        self._lsock.listen(128)
+        self._lsock.setblocking(False)
+        host, port = self._lsock.getsockname()
+        self.endpoint = f"tcp://{host}:{port}"
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._sel.register(self._lsock, selectors.EVENT_READ, ("accept", None))
+        self._sel.register(self._waker_r, selectors.EVENT_READ, ("wake", None))
+        self._thread = threading.Thread(
+            target=self._loop, name="mux-router", daemon=True
+        )
+        self._thread.start()
+        return self.endpoint
+
+    def attach(self, my_id: int, deliver) -> _TcpMuxLink:
+        """Dial the hub, register ``my_id`` (HELLO/ACK), start the link's
+        receive thread feeding ``deliver(payload)``."""
+        if self.endpoint is None:
+            raise RuntimeError("router not started")
+        ep = parse_endpoint(self.endpoint)
+        sock = socket.create_connection((ep.host, ep.port), timeout=5.0)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        _size_socket_buffers(sock)
+        send_mux_frame(sock, my_id, 0, b"", flags=FLAG_CONTROL)
+        # synchronous ACK: once this returns, the hub routes frames to us
+        flags, _src, _dst, _payload = recv_mux_frame(sock)
+        if not flags & FLAG_CONTROL:  # pragma: no cover - protocol error
+            raise FrameError("expected ACK control frame from router")
+        return _TcpMuxLink(sock, my_id, deliver)
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            for key, _ in self._sel.select():
+                kind, reader = key.data
+                if kind == "wake":
+                    try:
+                        key.fileobj.recv(64)
+                    except OSError:  # pragma: no cover - shutdown race
+                        pass
+                elif kind == "accept":
+                    self._accept()
+                else:
+                    self._service(key.fileobj, reader)
+        # teardown: close every socket the loop owns
+        for key in list(self._sel.get_map().values()):
+            try:
+                self._sel.unregister(key.fileobj)
+                key.fileobj.close()
+            except (OSError, KeyError):  # pragma: no cover - defensive
+                pass
+        self._sel.close()
+
+    def _accept(self) -> None:
+        try:
+            conn, _ = self._lsock.accept()
+        except OSError:
+            return
+        conn.setblocking(False)
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sel.register(conn, selectors.EVENT_READ, ("conn", StreamReader(mux=True)))
+
+    def _drop_conn(self, sock: socket.socket) -> None:
+        try:
+            self._sel.unregister(sock)
+        except KeyError:  # pragma: no cover - defensive
+            pass
+        for sid, s in list(self._routes.items()):
+            if s is sock:
+                del self._routes[sid]
+        sock.close()
+
+    def _service(self, sock: socket.socket, reader: StreamReader) -> None:
+        try:
+            frames = reader.feed(sock)
+        except (PeerClosed, FrameError, OSError):
+            self._drop_conn(sock)
+            return
+        for flags, src, dst, payload in frames:
+            if flags & FLAG_CONTROL:
+                self._routes[src] = sock
+                header = MUX_HEADER.pack(MUX_VERSION, FLAG_CONTROL, 0, src, 0)
+                try:
+                    sendmsg_all(sock, [header])
+                except OSError:  # pragma: no cover - peer died mid-hello
+                    self._drop_conn(sock)
+                    return
+                continue
+            out = self._routes.get(dst)
+            if out is None:
+                self.frames_dropped += 1
+                continue
+            header = MUX_HEADER.pack(MUX_VERSION, flags, src, dst, len(payload))
+            try:
+                sendmsg_all(out, [header, payload])
+            except OSError:
+                self._drop_conn(out)
+                continue
+            with self._stats_lock:
+                rec = self._stats.setdefault((src, dst), [0, 0])
+                rec[0] += 1
+                rec[1] += len(payload)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """(frames, bytes) forwarded per (src id, dst id)."""
+        with self._stats_lock:
+            return {k: (v[0], v[1]) for k, v in self._stats.items()}
+
+    def stop(self) -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._waker_w is not None:
+            try:
+                self._waker_w.send(b"x")
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        if self._waker_w is not None:
+            self._waker_w.close()
+
+
+# ----------------------------------------------------------------------
+# in-process variant
+# ----------------------------------------------------------------------
+_STOP = object()
+
+
+class _InprocMuxLink:
+    def __init__(self, router: "InprocMuxRouter", my_id: int):
+        self._router = router
+        self.my_id = my_id
+        self._closed = False
+
+    def send(self, dst: int, payload) -> None:
+        if self._closed:
+            raise RuntimeError("link closed")
+        self._router._inbox.put((self.my_id, dst, payload))
+
+    def send_many(self, frames) -> None:
+        if self._closed:
+            raise RuntimeError("link closed")
+        inbox = self._router._inbox
+        for dst, payload in frames:
+            inbox.put((self.my_id, dst, payload))
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class InprocMuxRouter:
+    """Queue-based hub mirroring :class:`MuxRouter` for inproc fabrics.
+
+    A single router thread blocks on its inbox and hands each frame to the
+    destination's ``deliver`` callback — the store-and-forward hop without
+    sockets, and without any polling timeout.
+    """
+
+    def __init__(self):
+        self._inbox: "queue.Queue" = queue.Queue()
+        self._deliver: dict[int, object] = {}
+        self._stats: dict[tuple[int, int], list[int]] = {}
+        self._stats_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self.frames_dropped = 0
+
+    def start(self, url: str | None = None) -> str:
+        self._thread = threading.Thread(
+            target=self._loop, name="mux-router-inproc", daemon=True
+        )
+        self._thread.start()
+        return "inproc://mux-router"
+
+    def attach(self, my_id: int, deliver) -> _InprocMuxLink:
+        if self._thread is None:
+            raise RuntimeError("router not started")
+        self._deliver[my_id] = deliver
+        return _InprocMuxLink(self, my_id)
+
+    def _loop(self) -> None:
+        while True:
+            item = self._inbox.get()
+            if item is _STOP:
+                return
+            src, dst, payload = item
+            deliver = self._deliver.get(dst)
+            if deliver is None:
+                self.frames_dropped += 1
+                continue
+            deliver(payload)
+            with self._stats_lock:
+                rec = self._stats.setdefault((src, dst), [0, 0])
+                rec[0] += 1
+                rec[1] += len(payload)
+
+    def stats(self) -> dict[tuple[int, int], tuple[int, int]]:
+        with self._stats_lock:
+            return {k: (v[0], v[1]) for k, v in self._stats.items()}
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._inbox.put(_STOP)
+            self._thread.join(timeout=2.0)
+            self._thread = None

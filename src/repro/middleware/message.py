@@ -1,10 +1,24 @@
 """Wire framing and payload serialisation.
 
-Frames are length-prefixed: an 8-byte big-endian unsigned length followed by
-the payload (the EOF-protocol role of the paper's Figure 7 connector).
+Two frame formats share the middleware sockets:
+
+- **legacy frames** — an 8-byte big-endian unsigned length followed by the
+  payload (the EOF-protocol role of the paper's Figure 7 connector);
+- **mux frames** — a compact 10-byte header ``(version, flags, src, dst,
+  length)`` so many logical streams share one pooled connection and a
+  router hop can forward by destination id without re-dialing.
+
+Both paths are zero-copy where the kernel allows it: receives land in
+preallocated buffers via ``recv_into`` (one kernel→user copy per frame,
+no chunk-list reassembly) and sends use scatter-gather ``sendmsg`` so the
+header and payload never get concatenated in userspace.  ``StreamReader``
+is the incremental, non-blocking reassembler the event-driven receive
+loops (``selectors``-based) feed from.
+
 Payload helpers pack the measurement-exchange records (bus ids + Vm/Va
-pairs) into flat ``numpy`` buffers, which is the fast path mpi4py-style
-communication expects.
+pairs) into flat ``numpy`` buffers in a single allocation;
+``unpack_state_update(copy=False)`` returns views that alias the wire
+buffer (see the ownership note on that function).
 """
 
 from __future__ import annotations
@@ -16,9 +30,19 @@ import numpy as np
 
 __all__ = [
     "FrameError",
+    "PeerClosed",
     "MAX_FRAME",
+    "MUX_HEADER",
+    "MUX_VERSION",
+    "FLAG_CONTROL",
+    "sendmsg_all",
     "send_frame",
+    "send_frames",
     "recv_frame",
+    "send_mux_frame",
+    "send_mux_frames",
+    "recv_mux_frame",
+    "StreamReader",
     "pack_state_update",
     "unpack_state_update",
 ]
@@ -27,62 +51,279 @@ _LEN = struct.Struct(">Q")
 #: refuse frames above this size (sanity bound, 1 GiB)
 MAX_FRAME = 1 << 30
 
+#: multiplexed fast-path header: version, flags, src id, dst id, payload length
+MUX_HEADER = struct.Struct(">BBHHI")
+MUX_VERSION = 1
+#: control frame (connection registration HELLO / ACK), not forwarded data
+FLAG_CONTROL = 0x01
+
+#: scatter-gather batches stay well under IOV_MAX (1024 on Linux)
+_IOV_BATCH = 256
+
 
 class FrameError(RuntimeError):
     """Raised on malformed frames or broken connections."""
 
 
-def send_frame(sock: socket.socket, payload: bytes) -> None:
-    """Send one length-prefixed frame."""
+class PeerClosed(FrameError):
+    """Orderly EOF at a frame boundary (peer closed between frames)."""
+
+
+# ----------------------------------------------------------------------
+# scatter-gather send
+# ----------------------------------------------------------------------
+def sendmsg_all(sock: socket.socket, parts: list) -> None:
+    """Send every buffer in ``parts`` without concatenating them.
+
+    Uses ``sendmsg`` (one syscall for many buffers) and handles partial
+    writes and EAGAIN on non-blocking sockets.
+    """
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - non-POSIX fallback
+        sock.sendall(b"".join(parts))
+        return
+    views = [memoryview(p) for p in parts if len(p)]
+    while views:
+        try:
+            sent = sock.sendmsg(views[:_IOV_BATCH])
+        except (BlockingIOError, InterruptedError):
+            import select
+
+            select.select([], [sock], [])
+            continue
+        while views and sent >= len(views[0]):
+            sent -= len(views[0])
+            views.pop(0)
+        if sent:
+            views[0] = views[0][sent:]
+
+
+# ----------------------------------------------------------------------
+# blocking receive primitives
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, n: int, *, eof_ok: bool = False) -> bytearray:
+    """Receive exactly ``n`` bytes into one preallocated buffer.
+
+    ``recv_into`` writes straight into the result — no per-chunk
+    allocations, no ``b"".join`` copy.  ``eof_ok`` promotes a clean EOF
+    before the first byte to :class:`PeerClosed` (a frame boundary).
+    """
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        r = sock.recv_into(view[got:])
+        if r == 0:
+            if got == 0 and eof_ok:
+                raise PeerClosed("peer closed connection")
+            raise FrameError("connection closed mid-frame")
+        got += r
+    return buf
+
+
+def send_frame(sock: socket.socket, payload) -> None:
+    """Send one length-prefixed legacy frame (header + payload, one syscall)."""
     if len(payload) > MAX_FRAME:
         raise FrameError(f"frame too large: {len(payload)}")
-    sock.sendall(_LEN.pack(len(payload)) + payload)
+    sendmsg_all(sock, [_LEN.pack(len(payload)), payload])
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            raise FrameError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+def send_frames(sock: socket.socket, payloads) -> None:
+    """Batch-coalesced send: many legacy frames ride one ``sendmsg``."""
+    parts = []
+    for payload in payloads:
+        if len(payload) > MAX_FRAME:
+            raise FrameError(f"frame too large: {len(payload)}")
+        parts.append(_LEN.pack(len(payload)))
+        parts.append(payload)
+    if parts:
+        sendmsg_all(sock, parts)
 
 
-def recv_frame(sock: socket.socket) -> bytes:
-    """Receive one length-prefixed frame."""
-    header = _recv_exact(sock, _LEN.size)
+def recv_frame(sock: socket.socket) -> bytearray:
+    """Receive one length-prefixed legacy frame."""
+    header = _recv_exact(sock, _LEN.size, eof_ok=True)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
         raise FrameError(f"frame too large: {length}")
     return _recv_exact(sock, length)
 
 
-def pack_state_update(bus_ids: np.ndarray, Vm: np.ndarray, Va: np.ndarray) -> bytes:
-    """Pack a pseudo-measurement exchange record into a flat buffer."""
-    bus_ids = np.ascontiguousarray(bus_ids, dtype=np.int64)
-    Vm = np.ascontiguousarray(Vm, dtype=np.float64)
-    Va = np.ascontiguousarray(Va, dtype=np.float64)
+# ----------------------------------------------------------------------
+# multiplexed fast-path frames
+# ----------------------------------------------------------------------
+def send_mux_frame(
+    sock: socket.socket, src: int, dst: int, payload, *, flags: int = 0
+) -> None:
+    """Send one mux frame (header + payload scatter-gathered)."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame too large: {len(payload)}")
+    header = MUX_HEADER.pack(MUX_VERSION, flags, src, dst, len(payload))
+    sendmsg_all(sock, [header, payload])
+
+
+def send_mux_frames(sock: socket.socket, src: int, frames) -> None:
+    """Batch-coalesced mux send: ``frames`` is an iterable of
+    ``(dst, payload)`` pairs; all headers + payloads ride one syscall."""
+    parts = []
+    for dst, payload in frames:
+        if len(payload) > MAX_FRAME:
+            raise FrameError(f"frame too large: {len(payload)}")
+        parts.append(MUX_HEADER.pack(MUX_VERSION, 0, src, dst, len(payload)))
+        parts.append(payload)
+    if parts:
+        sendmsg_all(sock, parts)
+
+
+def _parse_mux_header(header) -> tuple[int, int, int, int]:
+    version, flags, src, dst, length = MUX_HEADER.unpack(header)
+    if version != MUX_VERSION:
+        raise FrameError(f"unsupported mux frame version {version}")
+    if length > MAX_FRAME:
+        raise FrameError(f"frame too large: {length}")
+    return flags, src, dst, length
+
+
+def recv_mux_frame(sock: socket.socket) -> tuple[int, int, int, bytearray]:
+    """Receive one mux frame; returns ``(flags, src, dst, payload)``."""
+    header = _recv_exact(sock, MUX_HEADER.size, eof_ok=True)
+    flags, src, dst, length = _parse_mux_header(header)
+    return flags, src, dst, _recv_exact(sock, length)
+
+
+# ----------------------------------------------------------------------
+# incremental reassembly for event-driven receive loops
+# ----------------------------------------------------------------------
+class StreamReader:
+    """Non-blocking incremental frame reassembly over ``recv_into``.
+
+    One instance per connection in a ``selectors`` loop: each readiness
+    event calls :meth:`feed`, which drains the socket until EAGAIN and
+    returns the frames completed so far.  Legacy mode yields payload
+    buffers; mux mode yields ``(flags, src, dst, payload)`` tuples.
+    Payload buffers are freshly allocated per frame and owned by the
+    caller (nothing retains or reuses them here).
+    """
+
+    def __init__(self, *, mux: bool = False):
+        self._mux = mux
+        self._hsize = MUX_HEADER.size if mux else _LEN.size
+        self._hbuf = bytearray(self._hsize)
+        self._hview = memoryview(self._hbuf)
+        self._hgot = 0
+        self._payload: bytearray | None = None
+        self._pview: memoryview | None = None
+        self._pgot = 0
+        self._meta: tuple[int, int, int] | None = None
+
+    def _start_payload(self) -> None:
+        if self._mux:
+            flags, src, dst, length = _parse_mux_header(self._hbuf)
+            self._meta = (flags, src, dst)
+        else:
+            (length,) = _LEN.unpack(self._hbuf)
+            if length > MAX_FRAME:
+                raise FrameError(f"frame too large: {length}")
+        self._payload = bytearray(length)
+        self._pview = memoryview(self._payload)
+        self._pgot = 0
+
+    def _complete(self):
+        payload = self._payload
+        self._payload = self._pview = None
+        self._hgot = 0
+        if self._mux:
+            flags, src, dst = self._meta
+            self._meta = None
+            return flags, src, dst, payload
+        return payload
+
+    def feed(self, sock: socket.socket) -> list:
+        """Drain ``sock`` (non-blocking); return completed frames.
+
+        Raises :class:`PeerClosed` on EOF at a frame boundary and
+        :class:`FrameError` on EOF mid-header / mid-payload — either way
+        the frames completed before the error have already been returned
+        by earlier calls, and the caller should close the connection.
+        """
+        frames = []
+        while True:
+            if self._payload is None:
+                try:
+                    r = sock.recv_into(self._hview[self._hgot :])
+                except (BlockingIOError, InterruptedError):
+                    return frames
+                if r == 0:
+                    if self._hgot == 0:
+                        if frames:
+                            return frames  # deliver first; next feed raises
+                        raise PeerClosed("peer closed connection")
+                    raise FrameError("connection closed mid-header")
+                self._hgot += r
+                if self._hgot == self._hsize:
+                    self._start_payload()
+                    if len(self._payload) == 0:
+                        frames.append(self._complete())
+            else:
+                try:
+                    r = sock.recv_into(self._pview[self._pgot :])
+                except (BlockingIOError, InterruptedError):
+                    return frames
+                if r == 0:
+                    raise FrameError("connection closed mid-payload")
+                self._pgot += r
+                if self._pgot == len(self._payload):
+                    frames.append(self._complete())
+
+
+# ----------------------------------------------------------------------
+# state-update payloads
+# ----------------------------------------------------------------------
+def pack_state_update(bus_ids: np.ndarray, Vm: np.ndarray, Va: np.ndarray) -> bytearray:
+    """Pack a pseudo-measurement exchange record into a flat buffer.
+
+    Single allocation: the count header and all three arrays are written
+    straight into one ``bytearray`` (one copy per array, no ``tobytes`` or
+    concatenation intermediates).
+    """
+    bus_ids = np.asarray(bus_ids)
+    Vm = np.asarray(Vm, dtype=np.float64)
+    Va = np.asarray(Va, dtype=np.float64)
     if not (len(bus_ids) == len(Vm) == len(Va)):
         raise ValueError("array length mismatch")
     n = len(bus_ids)
-    return _LEN.pack(n) + bus_ids.tobytes() + Vm.tobytes() + Va.tobytes()
+    buf = bytearray(_LEN.size + n * (8 + 8 + 8))
+    _LEN.pack_into(buf, 0, n)
+    off = _LEN.size
+    np.frombuffer(buf, dtype=np.int64, count=n, offset=off)[:] = bus_ids
+    off += 8 * n
+    np.frombuffer(buf, dtype=np.float64, count=n, offset=off)[:] = Vm
+    off += 8 * n
+    np.frombuffer(buf, dtype=np.float64, count=n, offset=off)[:] = Va
+    return buf
 
 
-def unpack_state_update(buf: bytes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Inverse of :func:`pack_state_update`."""
+def unpack_state_update(
+    buf, *, copy: bool = True
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_state_update`.
+
+    With ``copy=False`` the returned arrays are *views* aliasing ``buf``
+    (zero-copy): they are only valid while the caller keeps ``buf`` alive
+    and unmodified, and writing to a mutable ``buf`` changes them.  The
+    default ``copy=True`` returns owned arrays.
+    """
     if len(buf) < _LEN.size:
         raise FrameError("short state-update buffer")
-    (n,) = _LEN.unpack(buf[: _LEN.size])
+    (n,) = _LEN.unpack_from(buf)
     expect = _LEN.size + n * (8 + 8 + 8)
     if len(buf) != expect:
         raise FrameError(f"state-update length mismatch: {len(buf)} != {expect}")
     off = _LEN.size
-    bus_ids = np.frombuffer(buf, dtype=np.int64, count=n, offset=off).copy()
+    bus_ids = np.frombuffer(buf, dtype=np.int64, count=n, offset=off)
     off += 8 * n
-    Vm = np.frombuffer(buf, dtype=np.float64, count=n, offset=off).copy()
+    Vm = np.frombuffer(buf, dtype=np.float64, count=n, offset=off)
     off += 8 * n
-    Va = np.frombuffer(buf, dtype=np.float64, count=n, offset=off).copy()
+    Va = np.frombuffer(buf, dtype=np.float64, count=n, offset=off)
+    if copy:
+        return bus_ids.copy(), Vm.copy(), Va.copy()
     return bus_ids, Vm, Va

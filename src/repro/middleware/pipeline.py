@@ -7,7 +7,10 @@ state-estimation code only names the destination; the pipeline does the
 store-and-forward routing.
 
 The implementation runs one acceptor thread per component and one handler
-thread per accepted connection; ``stop()`` tears everything down.
+thread per accepted connection; ``stop()`` tears everything down.  All
+threads block on their transport (accept / recv wake on close via socket
+shutdown or queue sentinels) — no timeout polling, so an idle pipeline
+consumes no CPU.
 """
 
 from __future__ import annotations
@@ -89,6 +92,8 @@ class MifPipeline:
         self.inproc = inproc
         self._threads: list[threading.Thread] = []
         self._listeners = []
+        self._conns: list = []
+        self._conns_lock = threading.Lock()
         self._stop = threading.Event()
         self.started = False
 
@@ -120,19 +125,28 @@ class MifPipeline:
         self.started = True
 
     def stop(self) -> None:
-        """Stop accepting and close listeners."""
+        """Stop accepting, close listeners and every open relay connection
+        (which wakes any thread blocked in accept/recv)."""
         self._stop.set()
         for listener in self._listeners:
             listener.close()
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()
         self.started = False
 
     # ------------------------------------------------------------------
     def _acceptor(self, comp: MifComponent, listener) -> None:
         while not self._stop.is_set():
             try:
-                conn = listener.accept(timeout=0.2)
+                conn = listener.accept()  # blocks; woken by listener.close()
             except (TimeoutError, OSError):
+                if self._stop.is_set():
+                    break
                 continue
+            with self._conns_lock:
+                self._conns.append(conn)
             handler = threading.Thread(
                 target=self._relay, args=(comp, conn),
                 name=f"mif-{comp.name}-relay", daemon=True,
@@ -147,10 +161,8 @@ class MifPipeline:
             out = transport.connect(comp.out_endpoint)
             while not self._stop.is_set():
                 try:
-                    payload = conn.recv_bytes(timeout=0.2)
-                except TimeoutError:
-                    continue
-                except (FrameError, OSError):
+                    payload = conn.recv_bytes()  # blocks; woken by close()
+                except (FrameError, OSError, RuntimeError):
                     break
                 t0 = time.perf_counter()
                 payload = comp.transform(payload)

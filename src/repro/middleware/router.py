@@ -4,11 +4,23 @@
 pairs: one one-way pipeline per direction (as in the paper, "each MeDICi
 pipeline is responsible for a one-way communication between two state
 estimators"), plus the per-site clients and the shared name registry.
+
+Two interchangeable data planes sit behind the same ``send``/``recv`` API:
+
+- the **legacy plane** (``fast=False``) — one relay pipeline per directed
+  pair, clients dialling each pipeline's inbound URL (pooled connections
+  since the fast-path rework, so a pair still costs one dial total);
+- the **fast plane** (``fast=True``) — a single mux router hub
+  (:mod:`repro.middleware.fastpath`): every site keeps exactly one duplex
+  connection to the hub and frames carry (src, dst) ids in a compact
+  binary header, so the hub forwards without re-dialing and a site's
+  whole neighbour burst can ride one syscall via :meth:`send_many`.
 """
 
 from __future__ import annotations
 
 from .client import EndpointRegistry, MWClient
+from .fastpath import InprocMuxRouter, MuxRouter
 from .pipeline import MifComponent, MifPipeline
 from .transports import InprocTransport
 
@@ -27,6 +39,9 @@ class MiddlewareFabric:
         pairs.
     use_tcp:
         Real localhost TCP when True; in-process queues otherwise.
+    fast:
+        Use the multiplexed single-hub data plane instead of one relay
+        pipeline per pair.  Same delivery and statistics semantics.
     """
 
     def __init__(
@@ -35,6 +50,7 @@ class MiddlewareFabric:
         pairs: list[tuple[str, str]] | None = None,
         *,
         use_tcp: bool = False,
+        fast: bool = False,
     ):
         if len(set(names)) != len(names):
             raise ValueError("duplicate estimator names")
@@ -42,9 +58,13 @@ class MiddlewareFabric:
         self.registry = EndpointRegistry()
         self.inproc = None if use_tcp else InprocTransport()
         self.use_tcp = use_tcp
+        self.fast = fast
         self.clients: dict[str, MWClient] = {}
         self.pipelines: dict[tuple[str, str], MifPipeline] = {}
         self.inbound: dict[tuple[str, str], str] = {}
+        self._hub: MuxRouter | InprocMuxRouter | None = None
+        self._links: dict[str, object] = {}
+        self._ids = {name: i for i, name in enumerate(self.names)}
 
         if pairs is None:
             pairs = [(a, b) for a in names for b in names if a != b]
@@ -52,15 +72,23 @@ class MiddlewareFabric:
         for a, b in self.pairs:
             if a not in self.names or b not in self.names:
                 raise ValueError(f"pair ({a}, {b}) references unknown estimator")
+        self._pair_set = set(self.pairs)
 
         self._started = False
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Bind every client endpoint and start every pipeline."""
+        """Bind every client endpoint and start the data plane."""
         if self._started:
             raise RuntimeError("fabric already started")
-        for i, name in enumerate(self.names):
+        if self.fast:
+            self._start_fast()
+        else:
+            self._start_legacy()
+        self._started = True
+
+    def _start_legacy(self) -> None:
+        for name in self.names:
             client = MWClient(name, self.registry, inproc=self.inproc)
             if self.use_tcp:
                 client.serve("tcp://127.0.0.1:0")
@@ -80,11 +108,27 @@ class MiddlewareFabric:
             pipeline.start()
             self.pipelines[(a, b)] = pipeline
             self.inbound[(a, b)] = comp.in_endpoint
-        self._started = True
+
+    def _start_fast(self) -> None:
+        self._hub = MuxRouter() if self.use_tcp else InprocMuxRouter()
+        hub_url = self._hub.start()
+        for name in self.names:
+            client = MWClient(name, self.registry, inproc=self.inproc)
+            self.clients[name] = client
+            self.registry.register(name, hub_url)
+            # one duplex link per site; inbound frames land in the client's
+            # buffer through the same accounting path as a served endpoint
+            self._links[name] = self._hub.attach(
+                self._ids[name], client._deliver
+            )
 
     def stop(self) -> None:
         for pipeline in self.pipelines.values():
             pipeline.stop()
+        for link in self._links.values():
+            link.close()
+        if self._hub is not None:
+            self._hub.stop()
         for client in self.clients.values():
             client.close()
         self._started = False
@@ -97,21 +141,54 @@ class MiddlewareFabric:
         self.stop()
 
     # ------------------------------------------------------------------
+    def _check_pair(self, src: str, dst: str) -> None:
+        if (src, dst) not in self._pair_set:
+            raise KeyError(f"no pipeline for {src} -> {dst}")
+
     def send(self, src: str, dst: str, payload: bytes) -> None:
-        """Send through the (src → dst) pipeline — the architecture's data
-        path (estimator → pipeline inbound → relay → destination buffer)."""
+        """Send through the (src → dst) data plane — estimator → router
+        hop → destination buffer."""
+        if self.fast:
+            self._check_pair(src, dst)
+            self._links[src].send(self._ids[dst], payload)
+            self.clients[src].bytes_sent += len(payload)
+            return
         try:
             inbound = self.inbound[(src, dst)]
         except KeyError as exc:
             raise KeyError(f"no pipeline for {src} -> {dst}") from exc
         self.clients[src].send(inbound, payload)
 
+    def send_many(self, src: str, frames) -> None:
+        """Send a burst of ``(dst, payload)`` frames from one site; on the
+        fast plane they all ride one scatter-gather syscall."""
+        frames = list(frames)
+        if not frames:
+            return
+        if self.fast:
+            for dst, _ in frames:
+                self._check_pair(src, dst)
+            self._links[src].send_many(
+                (self._ids[dst], payload) for dst, payload in frames
+            )
+            self.clients[src].bytes_sent += sum(len(p) for _, p in frames)
+            return
+        for dst, payload in frames:
+            self.send(src, dst, payload)
+
     def recv(self, name: str, *, timeout: float = 5.0) -> bytes:
         """Take the next payload delivered to estimator ``name``."""
         return self.clients[name].recv(timeout=timeout)
 
     def relay_stats(self) -> dict[tuple[str, str], tuple[int, int]]:
-        """(frames, bytes) relayed per pipeline."""
+        """(frames, bytes) relayed per directed pair."""
+        if self.fast:
+            by_id = self._hub.stats() if self._hub is not None else {}
+            rev = {i: name for name, i in self._ids.items()}
+            out = {pair: (0, 0) for pair in self.pairs}
+            for (src_id, dst_id), rec in by_id.items():
+                out[(rev[src_id], rev[dst_id])] = rec
+            return out
         out = {}
         for key, pipeline in self.pipelines.items():
             comp = pipeline.components[0]

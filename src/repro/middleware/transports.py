@@ -3,12 +3,20 @@
 Both expose the same tiny interface:
 
 - ``listen(endpoint) -> Listener`` with ``accept() -> Connection``;
-- ``connect(endpoint) -> Connection`` with ``send_bytes`` / ``recv_bytes`` /
-  ``close``.
+- ``connect(endpoint) -> Connection`` with ``send_bytes`` / ``send_many`` /
+  ``recv_bytes`` / ``close``.
 
 ``TcpTransport`` carries real frames over localhost sockets (used by the
 middleware-overhead experiments); ``InprocTransport`` is a zero-dependency
 stand-in for unit tests and single-process demos.
+
+Blocking receives are event-driven, not polled: a closed TCP socket is
+``shutdown`` first so a peer (or a local thread) blocked in ``recv`` or
+``accept`` wakes immediately, and the in-process queues carry explicit
+EOF/stop sentinels so a ``close()`` releases any blocked reader without
+timeouts.  Sends on one TCP connection are serialised by a per-connection
+lock, so concurrent senders can safely share a pooled connection without
+interleaving partial frames.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ import socket
 import threading
 
 from .endpoints import Endpoint, parse_endpoint
-from .message import recv_frame, send_frame
+from .message import FrameError, recv_frame, send_frame, send_frames
 
 __all__ = [
     "Connection",
@@ -26,7 +34,23 @@ __all__ = [
     "TcpTransport",
     "InprocTransport",
     "transport_for",
+    "SOCKET_BUFFER_BYTES",
 ]
+
+#: Explicit per-socket kernel buffer size.  Containers frequently ship a
+#: tiny tcp_wmem default (16 KiB here); under sustained one-way
+#: small-message load the window collapses to zero and delivery degrades
+#: to the ~200 ms TCP persist-timer cadence.  Sizing both buffers up
+#: front keeps the window open and the fast path at full rate.
+SOCKET_BUFFER_BYTES = 1 << 20
+
+
+def _size_socket_buffers(sock: socket.socket) -> None:
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, SOCKET_BUFFER_BYTES)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, SOCKET_BUFFER_BYTES)
+    except OSError:  # pragma: no cover - platform without the knob
+        pass
 
 
 class Connection:
@@ -34,6 +58,12 @@ class Connection:
 
     def send_bytes(self, payload: bytes) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    def send_many(self, payloads) -> None:
+        """Send several frames; transports may coalesce them into one
+        syscall.  The default is a plain loop."""
+        for payload in payloads:
+            self.send_bytes(payload)
 
     def recv_bytes(self, timeout: float | None = None) -> bytes:  # pragma: no cover
         raise NotImplementedError
@@ -70,16 +100,40 @@ class Listener:
 class _TcpConnection(Connection):
     def __init__(self, sock: socket.socket):
         self._sock = sock
+        self._send_lock = threading.Lock()
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        _size_socket_buffers(sock)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
 
     def send_bytes(self, payload: bytes) -> None:
-        send_frame(self._sock, payload)
+        with self._send_lock:
+            send_frame(self._sock, payload)
+
+    def send_many(self, payloads) -> None:
+        with self._send_lock:
+            send_frames(self._sock, payloads)
 
     def recv_bytes(self, timeout: float | None = None) -> bytes:
+        # Save/restore the socket's timeout: a per-call timeout must not
+        # leak into later blocking sends/receives on the same socket.
+        prev = self._sock.gettimeout()
         self._sock.settimeout(timeout)
-        return recv_frame(self._sock)
+        try:
+            return recv_frame(self._sock)
+        finally:
+            try:
+                self._sock.settimeout(prev)
+            except OSError:  # pragma: no cover - socket died mid-call
+                pass
 
     def close(self) -> None:
+        try:
+            # shutdown wakes any thread blocked in recv on this socket
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - defensive
@@ -90,10 +144,15 @@ class _TcpListener(Listener):
     def __init__(self, endpoint: Endpoint):
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        # accepted sockets inherit the listener's buffer sizing
+        _size_socket_buffers(self._sock)
         self._sock.bind((endpoint.host, endpoint.port or 0))
-        self._sock.listen(16)
+        self._sock.listen(128)
         host, port = self._sock.getsockname()
         self.endpoint = Endpoint(scheme="tcp", host=host, port=port)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
 
     def accept(self, timeout: float | None = None) -> Connection:
         self._sock.settimeout(timeout)
@@ -101,6 +160,11 @@ class _TcpListener(Listener):
         return _TcpConnection(conn)
 
     def close(self) -> None:
+        try:
+            # wake any thread blocked in accept
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         self._sock.close()
 
 
@@ -126,6 +190,11 @@ class TcpTransport:
 # ----------------------------------------------------------------------
 # In-process
 # ----------------------------------------------------------------------
+#: queue sentinels: connection EOF and listener shutdown
+_EOF = object()
+_STOP = object()
+
+
 class _InprocConnection(Connection):
     def __init__(self, out_q: "queue.Queue[bytes]", in_q: "queue.Queue[bytes]"):
         self._out = out_q
@@ -139,12 +208,20 @@ class _InprocConnection(Connection):
 
     def recv_bytes(self, timeout: float | None = None) -> bytes:
         try:
-            return self._in.get(timeout=timeout)
+            item = self._in.get(timeout=timeout)
         except queue.Empty as exc:
             raise TimeoutError("recv timed out") from exc
+        if item is _EOF:
+            self._in.put(_EOF)  # latch EOF for any other blocked reader
+            raise FrameError("connection closed")
+        return item
 
     def close(self) -> None:
-        self._closed = True
+        if not self._closed:
+            self._closed = True
+            # wake the peer's blocked recv (EOF) and our own
+            self._out.put(_EOF)
+            self._in.put(_EOF)
 
 
 class _InprocListener(Listener):
@@ -156,12 +233,17 @@ class _InprocListener(Listener):
 
     def accept(self, timeout: float | None = None) -> Connection:
         try:
-            return self._pending.get(timeout=timeout)
+            item = self._pending.get(timeout=timeout)
         except queue.Empty as exc:
             raise TimeoutError("accept timed out") from exc
+        if item is _STOP:
+            self._pending.put(_STOP)  # latch for any other blocked acceptor
+            raise OSError("listener closed")
+        return item
 
     def close(self) -> None:
         self.transport._listeners.pop(self.name, None)
+        self._pending.put(_STOP)  # wake any thread blocked in accept
 
 
 class InprocTransport:

@@ -77,6 +77,9 @@ class ScenarioService:
         to trade for throughput).
     solver, sensitivity_threshold, rounds, tol:
         Estimation defaults, forwarded to the engine.
+    fast:
+        Forwarded to the live engine: multiplexed fast-path fabric
+        (default) vs legacy per-pair pipelines.
     """
 
     def __init__(
@@ -95,6 +98,7 @@ class ScenarioService:
         rounds: int | None = None,
         tol: float = 1e-8,
         use_tcp: bool = False,
+        fast: bool = True,
     ):
         if engine not in ("dse", "live"):
             raise ValueError("engine must be 'dse' or 'live'")
@@ -130,6 +134,7 @@ class ScenarioService:
                 sensitivity_threshold=sensitivity_threshold,
                 use_cache=True,
                 use_tcp=use_tcp,
+                fast=fast,
             )
         self.analyzer = analyzer or ContingencyAnalyzer(
             dec.net, method=contingency_method

@@ -37,6 +37,25 @@ class TestLiveRuntime:
         assert np.array_equal(live.Vm, ref.Vm)
         assert np.array_equal(live.Va, ref.Va)
 
+    @pytest.mark.parametrize("use_tcp", [False, True])
+    def test_bitwise_match_legacy_pipelines(self, live_setup, use_tcp):
+        """The legacy per-pair pipeline plane stays bit-identical too."""
+        dec, ms, ref = live_setup
+        live = LiveDseRuntime(dec, ms, use_tcp=use_tcp, fast=False).run()
+        assert live.errors == []
+        assert np.array_equal(live.Vm, ref.Vm)
+        assert np.array_equal(live.Va, ref.Va)
+
+    def test_fast_and_legacy_planes_bitwise_equal(self, live_setup):
+        """Same bytes, same barrier schedule: the multiplexed fast path
+        and the per-pair pipelines produce identical results."""
+        dec, ms, _ = live_setup
+        fast = LiveDseRuntime(dec, ms, fast=True).run()
+        legacy = LiveDseRuntime(dec, ms, fast=False).run()
+        assert fast.errors == [] and legacy.errors == []
+        assert np.array_equal(fast.Vm, legacy.Vm)
+        assert np.array_equal(fast.Va, legacy.Va)
+
     def test_site_stats_recorded(self, live_setup):
         dec, ms, _ = live_setup
         live = LiveDseRuntime(dec, ms).run()

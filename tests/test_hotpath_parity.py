@@ -165,6 +165,23 @@ class TestDseParity:
         assert np.array_equal(serial.Vm, threaded.Vm)
         assert np.array_equal(serial.Va, threaded.Va)
 
+    def test_live_fastpath_values_only_frames_bitwise(self, dse118):
+        """Repeated values-only frames over the live fast-path fabric stay
+        bit-identical to the in-process DSE's warm ``run(z=)`` path."""
+        from repro.core import LiveDseRuntime
+
+        dec, ms = dse118
+        rng = np.random.default_rng(42)
+        dse = DistributedStateEstimator(dec, ms)
+        live = LiveDseRuntime(dec, ms, fast=True)
+        for _ in range(2):
+            z = ms.z + rng.normal(0.0, 1e-4, size=len(ms.z))
+            ref = dse.run(z=z)
+            got = live.run(z=z)
+            assert got.errors == []
+            assert np.array_equal(got.Vm, ref.Vm)
+            assert np.array_equal(got.Va, ref.Va)
+
 
 class TestExecutor:
     def test_make_executor_specs(self):
