@@ -24,4 +24,7 @@ python examples/serve_scenarios.py --tiny
 echo "== middleware round-trip smoke (inproc + localhost TCP) =="
 python examples/middleware_roundtrip.py
 
+echo "== observability smoke (traces across workers + TCP mux hop) =="
+python examples/observability_demo.py
+
 echo "verify: OK"

@@ -22,13 +22,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..dse.algorithm import DistributedStateEstimator
 from ..dse.decomposition import Decomposition
 from ..estimation.wls import WlsEstimator
 from ..measurements.types import MeasurementSet
 from ..middleware.message import pack_state_update, unpack_state_update
 from ..middleware.router import MiddlewareFabric
-from .telemetry import Timer
 
 __all__ = ["LiveSiteStats", "LiveDseResult", "LiveDseRuntime"]
 
@@ -164,7 +164,10 @@ class LiveDseRuntime:
 
         def site(s: int, fabric: MiddlewareFabric) -> None:
             try:
-                _site_body(s, fabric)
+                # site threads start with a fresh contextvars context, so
+                # the root span is handed over explicitly
+                with obs.span("live.site", parent=root_ctx, s=s):
+                    _site_body(s, fabric)
             except Exception as exc:  # crash must not deadlock the barrier
                 with err_lock:
                     errors.append(f"site {s} failed: {exc!r}")
@@ -186,13 +189,14 @@ class LiveDseRuntime:
 
             # ---- Step 1 ----
             t0 = time.perf_counter()
-            est1 = (
-                self._dse._est1[s]
-                if self.use_cache
-                else WlsEstimator(subnet1, ms1, solver=self.solver)
-            )
-            z1 = self._dse._step1_z(s, z) if z is not None else None
-            res1 = est1.estimate(tol=tol, z=z1)
+            with obs.span("live.step1", s=s):
+                est1 = (
+                    self._dse._est1[s]
+                    if self.use_cache
+                    else WlsEstimator(subnet1, ms1, solver=self.solver)
+                )
+                z1 = self._dse._step1_z(s, z) if z is not None else None
+                res1 = est1.estimate(tol=tol, z=z1)
             st.step1_time = time.perf_counter() - t0
             for i, b in enumerate(own):
                 vm_loc[int(b)] = float(res1.Vm[i])
@@ -205,35 +209,41 @@ class LiveDseRuntime:
 
             # ---- Step 2 rounds ----
             for r in range(rounds):
-                payload = pack_state_update(
-                    publish.astype(np.int64),
-                    np.array([vm_loc[int(b)] for b in publish]),
-                    np.array([va_loc[int(b)] for b in publish]),
-                )
-                # the whole neighbour burst rides one syscall on the fast
-                # plane (legacy falls back to per-pipeline sends)
-                fabric.send_many(
-                    f"se{s}", [(f"se{nb}", payload) for nb in nbrs]
-                )
-                st.bytes_sent += len(payload) * len(nbrs)
+                with obs.span("live.exchange", s=s, round=r):
+                    payload = pack_state_update(
+                        publish.astype(np.int64),
+                        np.array([vm_loc[int(b)] for b in publish]),
+                        np.array([va_loc[int(b)] for b in publish]),
+                    )
+                    # the whole neighbour burst rides one syscall on the
+                    # fast plane (legacy falls back to per-pipeline sends);
+                    # sending inside the span stamps the frames with this
+                    # trace's context, so the router hop joins the trace
+                    fabric.send_many(
+                        f"se{s}", [(f"se{nb}", payload) for nb in nbrs]
+                    )
+                    st.bytes_sent += len(payload) * len(nbrs)
 
-                for _ in nbrs:
-                    try:
-                        raw = fabric.recv(f"se{s}", timeout=self.recv_timeout)
-                    except TimeoutError:
-                        with err_lock:
-                            errors.append(
-                                f"site {s} round {r}: neighbour update timed out"
+                    for _ in nbrs:
+                        try:
+                            raw = fabric.recv(
+                                f"se{s}", timeout=self.recv_timeout
                             )
-                        continue
-                    st.bytes_received += len(raw)
-                    st.messages_received += 1
-                    # views over the wire buffer; values are copied into
-                    # the known_* dicts below, so no aliasing escapes
-                    ids, vms, vas = unpack_state_update(raw, copy=False)
-                    for b, vm_b, va_b in zip(ids, vms, vas):
-                        known_vm[int(b)] = float(vm_b)
-                        known_va[int(b)] = float(va_b)
+                        except TimeoutError:
+                            with err_lock:
+                                errors.append(
+                                    f"site {s} round {r}: "
+                                    "neighbour update timed out"
+                                )
+                            continue
+                        st.bytes_received += len(raw)
+                        st.messages_received += 1
+                        # views over the wire buffer; values are copied into
+                        # the known_* dicts below, so no aliasing escapes
+                        ids, vms, vas = unpack_state_update(raw, copy=False)
+                        for b, vm_b, va_b in zip(ids, vms, vas):
+                            known_vm[int(b)] = float(vm_b)
+                            known_va[int(b)] = float(va_b)
 
                 # pseudo measurements at the external boundary buses we know
                 ext_known = [int(b) for b in ext if int(b) in known_vm]
@@ -289,7 +299,8 @@ class LiveDseRuntime:
                             x0_vm[i], x0_va[i] = known_vm[b], known_va[b]
 
                 t0 = time.perf_counter()
-                res2 = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+                with obs.span("live.step2", s=s, round=r):
+                    res2 = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
                 st.step2_times.append(time.perf_counter() - t0)
                 prev2 = res2
 
@@ -312,7 +323,12 @@ class LiveDseRuntime:
         with MiddlewareFabric(
             names, pairs, use_tcp=self.use_tcp, fast=self.fast
         ) as fabric:
-            with Timer() as wall:
+            with obs.span(
+                "live.run", m=dec.m, rounds=rounds,
+                tcp=self.use_tcp, fast=self.fast,
+            ):
+                root_ctx = obs.current_context()
+                wall_t0 = time.perf_counter()
                 threads = [
                     threading.Thread(target=site, args=(s, fabric),
                                      name=f"site-{s}")
@@ -322,8 +338,14 @@ class LiveDseRuntime:
                     t.start()
                 for t in threads:
                     t.join()
+                wall_elapsed = time.perf_counter() - wall_t0
+
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("live.runs_total").inc()
+            reg.histogram("live.run.seconds").observe(wall_elapsed)
 
         return LiveDseResult(
-            Vm=Vm, Va=Va, rounds=rounds, wall_time=wall.elapsed,
+            Vm=Vm, Va=Va, rounds=rounds, wall_time=wall_elapsed,
             sites=stats, errors=errors,
         )

@@ -15,8 +15,11 @@ on an :class:`~repro.core.architecture.ArchitecturePrototype`:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from .. import obs
 from ..cluster.executor import MessageSpec, TaskSpec
 from ..dse.algorithm import BYTES_PER_EXCHANGED_BUS, DistributedStateEstimator
 from ..dse.sensitivity import exchange_bus_sets
@@ -25,7 +28,7 @@ from ..middleware.message import pack_state_update
 from ..parallel import make_executor
 from .architecture import ArchitecturePrototype
 from .noise import NoiseLevelEstimator
-from .telemetry import FrameReport, PhaseBreakdown, Timer
+from .telemetry import FrameReport, PhaseBreakdown
 
 __all__ = ["DseSession"]
 
@@ -110,6 +113,25 @@ class DseSession:
         truth: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> FrameReport:
         """Run the full DSE pipeline on one measurement frame."""
+        if not obs.enabled():
+            return self._process_frame_impl(mset, t=t, rounds=rounds, truth=truth)
+        with obs.span("session.frame", frame=self._frame_no) as sp:
+            report = self._process_frame_impl(mset, t=t, rounds=rounds, truth=truth)
+            sp.set_attr("rounds", report.rounds)
+            sp.set_attr("bytes_exchanged", report.bytes_exchanged)
+        reg = obs.metrics()
+        reg.counter("session.frames_total").inc()
+        reg.histogram("session.frame.seconds").observe(report.wall_time)
+        return report
+
+    def _process_frame_impl(
+        self,
+        mset: MeasurementSet,
+        *,
+        t: float | None,
+        rounds: int | None,
+        truth: tuple[np.ndarray, np.ndarray] | None,
+    ) -> FrameReport:
         arch = self.arch
         dec = arch.dec
         if t is None:
@@ -120,47 +142,56 @@ class DseSession:
         if self.bad_data_policy != "off":
             from ..dse.baddata import distributed_bad_data
 
-            bad_data_report = distributed_bad_data(
-                dec, mset, identify=(self.bad_data_policy == "identify")
-            )
-            removed = bad_data_report.removed_global_rows
-            if removed:
-                keep = np.ones(len(mset), dtype=bool)
-                keep[removed] = False
-                mset = mset.subset(keep)
+            with obs.span("session.bad_data", policy=self.bad_data_policy):
+                bad_data_report = distributed_bad_data(
+                    dec, mset, identify=(self.bad_data_policy == "identify")
+                )
+                removed = bad_data_report.removed_global_rows
+                if removed:
+                    keep = np.ones(len(mset), dtype=bool)
+                    keep[removed] = False
+                    mset = mset.subset(keep)
 
         # (1) noise level for this time frame
-        x = self.noise_estimator.update(mset, self._prev_vm, self._prev_va)
-        ni = arch.iteration_model.iterations(x)
+        with obs.span("session.noise_estimate"):
+            x = self.noise_estimator.update(mset, self._prev_vm, self._prev_va)
+            ni = arch.iteration_model.iterations(x)
 
         # (2) Step-1 mapping: balance compute
-        map1 = arch.mapper.map_step1(dec, x)
+        with obs.span("partition.map_step1"):
+            map1 = arch.mapper.map_step1(dec, x)
 
         # (3-5) run the DSE (functionally) and wall-clock it; after the
         # first frame, warm-start from the tracked state (the mechanism
         # behind the paper's iteration model)
         warm = (self._prev_vm, self._prev_va) if self._frame_no > 0 else None
-        with Timer() as wall:
-            dse = DistributedStateEstimator(
-                dec,
-                mset,
-                solver=self.solver,
-                sensitivity_threshold=self.sensitivity_threshold,
-                executor=self.executor,
-                reuse_structures=self.reuse_structures,
-                warm_start=self.warm_start,
-            )
-            result = dse.run(rounds=rounds, x0=warm)
+        wall_t0 = time.perf_counter()
+        dse = DistributedStateEstimator(
+            dec,
+            mset,
+            solver=self.solver,
+            sensitivity_threshold=self.sensitivity_threshold,
+            executor=self.executor,
+            reuse_structures=self.reuse_structures,
+            warm_start=self.warm_start,
+        )
+        result = dse.run(rounds=rounds, x0=warm)
+        wall_elapsed = time.perf_counter() - wall_t0
 
         # (4) Step-2 remapping with updated weights
-        map2, moved = arch.mapper.remap_step2(dec, x, map1, self.exchange_sets)
+        with obs.span("partition.remap"):
+            map2, moved = arch.mapper.remap_step2(
+                dec, x, map1, self.exchange_sets
+            )
 
         # (5) optional: push real pseudo-measurement bytes through pipelines
         if arch.fabric is not None:
-            self._exercise_fabric(result)
+            with obs.span("session.fabric_exchange"):
+                self._exercise_fabric(result)
 
         # (6) replay on the simulated testbed
-        timings = self._replay(result, map1, map2, moved)
+        with obs.span("session.replay_sim"):
+            timings = self._replay(result, map1, map2, moved)
 
         report = FrameReport(
             t=t,
@@ -175,7 +206,7 @@ class DseSession:
             rounds=result.rounds,
             bytes_exchanged=result.total_bytes_exchanged,
             timings=timings,
-            wall_time=wall.elapsed,
+            wall_time=wall_elapsed,
         )
         if truth is not None:
             err = result.state_error(*truth)

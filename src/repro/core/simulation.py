@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..cluster.costmodel import MiddlewareCostModel
 from ..cluster.simevent import SimEngine, Timeout
 from ..cluster.simmpi import SimComm
@@ -110,11 +111,16 @@ def simulate_dse_message_level(
 
         timeline.per_subsystem_finish[s] = engine.now
 
-    for s in range(dec.m):
-        engine.process(estimator_proc(s), name=f"se{s}")
-    timeline.total_time = engine.run()
-    timeline.bytes_communicated = comm.stats_bytes
-    timeline.messages = comm.stats_messages
+    with obs.span("sim.replay", m=dec.m, rounds=result.rounds) as sp:
+        for s in range(dec.m):
+            engine.process(estimator_proc(s), name=f"se{s}")
+        timeline.total_time = engine.run()
+        timeline.bytes_communicated = comm.stats_bytes
+        timeline.messages = comm.stats_messages
+        sp.set_attr("sim_total", timeline.total_time)
+        sp.set_attr("messages", timeline.messages)
+    if obs.enabled():
+        obs.metrics().counter("sim.messages_total").inc(timeline.messages)
 
     # sanity: every estimator completed every phase
     assert barrier_hits["step1"] == dec.m

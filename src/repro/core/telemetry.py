@@ -1,25 +1,54 @@
-"""Telemetry records for architecture sessions."""
+"""Telemetry records for architecture sessions.
+
+:class:`FrameReport` / :class:`PhaseBreakdown` carry the per-frame numbers
+and serialize to plain dicts (:meth:`FrameReport.to_dict`), the one schema
+shared by ``benchmarks/record_bench.py`` and the JSONL exporter in
+:mod:`repro.obs.export`.
+
+:class:`Timer` predates the span-based tracing in :mod:`repro.obs` and is
+deprecated in its favour; it is kept (re-entrant and exception-safe) for
+existing consumers.
+"""
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 __all__ = ["Timer", "PhaseBreakdown", "FrameReport"]
 
 
 class Timer:
-    """Context-manager wall-clock timer."""
+    """Context-manager wall-clock timer.
+
+    .. deprecated::
+        Superseded by :func:`repro.obs.span`, which times, nests and
+        exports; ``Timer`` only measures.  It stays for backward
+        compatibility with :class:`FrameReport` consumers.
+
+    Safe to re-enter: one instance can be reused sequentially or nested
+    (start times are kept on a stack, so an inner interval does not
+    clobber an outer one), and ``__exit__`` records the elapsed time even
+    when the body raised.  ``elapsed`` holds the most recently closed
+    interval.
+    """
 
     def __init__(self):
         self.elapsed = 0.0
+        self._starts: list[float] = []
 
     def __enter__(self):
-        self._t0 = time.perf_counter()
+        warnings.warn(
+            "repro.core.telemetry.Timer is deprecated; use repro.obs.span",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc):
-        self.elapsed = time.perf_counter() - self._t0
+        self.elapsed = time.perf_counter() - self._starts.pop()
 
 
 @dataclass
@@ -43,6 +72,28 @@ class PhaseBreakdown:
     def total(self) -> float:
         return self.step1 + self.redistribution + self.exchange + self.step2
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict (derived totals included for readers that do not
+        want to recompute them; :meth:`from_dict` ignores them)."""
+        return {
+            "step1": float(self.step1),
+            "redistribution": float(self.redistribution),
+            "exchange_per_round": [float(v) for v in self.exchange_per_round],
+            "step2_per_round": [float(v) for v in self.step2_per_round],
+            "exchange": float(self.exchange),
+            "step2": float(self.step2),
+            "total": float(self.total),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PhaseBreakdown":
+        return cls(
+            step1=float(d.get("step1", 0.0)),
+            redistribution=float(d.get("redistribution", 0.0)),
+            exchange_per_round=[float(v) for v in d.get("exchange_per_round", [])],
+            step2_per_round=[float(v) for v in d.get("step2_per_round", [])],
+        )
+
 
 @dataclass
 class FrameReport:
@@ -65,3 +116,63 @@ class FrameReport:
     va_rmse_vs_truth: float | None = None
     centralized_sim_time: float | None = None
     bad_data: object | None = None  # DistributedBadDataReport when enabled
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; ``bad_data`` is flattened to its summary
+        fields (the full per-subsystem report does not round-trip)."""
+        bad = self.bad_data
+        if bad is not None and not isinstance(bad, dict):
+            bad = {
+                "suspect_subsystems": [int(s) for s in bad.suspect_subsystems],
+                "removed_global_rows": [
+                    int(r) for r in bad.removed_global_rows
+                ],
+                "clean_after_identification": bool(
+                    bad.clean_after_identification
+                ),
+            }
+        return {
+            "t": float(self.t),
+            "noise_level": float(self.noise_level),
+            "expected_iterations": float(self.expected_iterations),
+            "mapping_step1": {
+                k: [int(s) for s in v] for k, v in self.mapping_step1.items()
+            },
+            "imbalance_step1": float(self.imbalance_step1),
+            "mapping_step2": {
+                k: [int(s) for s in v] for k, v in self.mapping_step2.items()
+            },
+            "imbalance_step2": float(self.imbalance_step2),
+            "edge_cut_step2": int(self.edge_cut_step2),
+            "migrated_weight": float(self.migrated_weight),
+            "rounds": int(self.rounds),
+            "bytes_exchanged": int(self.bytes_exchanged),
+            "timings": self.timings.to_dict(),
+            "wall_time": float(self.wall_time),
+            "vm_rmse_vs_truth": self.vm_rmse_vs_truth,
+            "va_rmse_vs_truth": self.va_rmse_vs_truth,
+            "centralized_sim_time": self.centralized_sim_time,
+            "bad_data": bad,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FrameReport":
+        return cls(
+            t=float(d["t"]),
+            noise_level=float(d["noise_level"]),
+            expected_iterations=float(d["expected_iterations"]),
+            mapping_step1={k: list(v) for k, v in d["mapping_step1"].items()},
+            imbalance_step1=float(d["imbalance_step1"]),
+            mapping_step2={k: list(v) for k, v in d["mapping_step2"].items()},
+            imbalance_step2=float(d["imbalance_step2"]),
+            edge_cut_step2=int(d["edge_cut_step2"]),
+            migrated_weight=d["migrated_weight"],
+            rounds=int(d["rounds"]),
+            bytes_exchanged=int(d["bytes_exchanged"]),
+            timings=PhaseBreakdown.from_dict(d.get("timings", {})),
+            wall_time=float(d["wall_time"]),
+            vm_rmse_vs_truth=d.get("vm_rmse_vs_truth"),
+            va_rmse_vs_truth=d.get("va_rmse_vs_truth"),
+            centralized_sim_time=d.get("centralized_sim_time"),
+            bad_data=d.get("bad_data"),
+        )

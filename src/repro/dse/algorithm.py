@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..estimation.results import EstimationResult
 from ..estimation.wls import WlsEstimator
 from ..measurements.types import _TYPE_ORDER, MeasType, MeasurementSet
@@ -87,20 +88,24 @@ def _dse_worker_state(payload):
 
 
 def _dse_step1_task(args):
-    key, s, z1, x0, tol = args
+    key, s, z1, x0, tol, octx = args
     dse = worker_context(key)
+    rec = obs.remote_recorder(octx)
     t0 = time.perf_counter()
-    res = dse._est1[s].estimate(tol=tol, x0=x0, z=z1)
-    return res, time.perf_counter() - t0
+    with rec.span("dse.step1.subsystem", s=s):
+        res = dse._est1[s].estimate(tol=tol, x0=x0, z=z1)
+    return res, time.perf_counter() - t0, rec.export()
 
 
 def _dse_step2_task(args):
-    key, s, z2, x0_vm, x0_va, tol = args
+    key, s, z2, x0_vm, x0_va, tol, octx = args
     dse = worker_context(key)
     est2 = dse._step2_cache[s][0]
+    rec = obs.remote_recorder(octx)
     t0 = time.perf_counter()
-    res = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
-    return res, time.perf_counter() - t0
+    with rec.span("dse.step2.subsystem", s=s):
+        res = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+    return res, time.perf_counter() - t0, rec.export()
 
 
 @dataclass
@@ -404,6 +409,27 @@ class DistributedStateEstimator:
         the scenario-serving engine pushes repeated estimation rounds
         through one warm estimator; requires ``reuse_structures=True``.
         """
+        if not obs.enabled():
+            return self._run_impl(rounds=rounds, tol=tol, x0=x0, z=z)
+        t0 = time.perf_counter()
+        with obs.span("dse.frame", m=self.dec.m) as sp:
+            result = self._run_impl(rounds=rounds, tol=tol, x0=x0, z=z)
+            sp.set_attr("rounds", result.rounds)
+            sp.set_attr("bytes_exchanged", result.total_bytes_exchanged)
+        reg = obs.metrics()
+        reg.counter("dse.frames_total").inc()
+        reg.counter("dse.bytes_exchanged_total").inc(result.total_bytes_exchanged)
+        reg.histogram("dse.frame.seconds").observe(time.perf_counter() - t0)
+        return result
+
+    def _run_impl(
+        self,
+        *,
+        rounds: int | None,
+        tol: float,
+        x0: tuple[np.ndarray, np.ndarray] | None,
+        z: np.ndarray | None,
+    ) -> DseResult:
         dec = self.dec
         net = dec.net
         if rounds is None:
@@ -440,44 +466,49 @@ class DistributedStateEstimator:
         Va = np.zeros(net.n_bus)
 
         # ---- DSE Step 1: independent local estimations ----
-        if use_process:
-            # Compact payloads: the local measurement vector, the local
-            # warm start and the tolerance; the estimators live warm
-            # inside the workers.
-            items1 = []
-            for s in range(dec.m):
+        with obs.span("dse.step1"):
+            octx = obs.pack_current_context()
+            if use_process:
+                # Compact payloads: the local measurement vector, the local
+                # warm start and the tolerance; the estimators live warm
+                # inside the workers.
+                items1 = []
+                for s in range(dec.m):
+                    own = dec.buses(s)
+                    z1 = self._step1_z(s, z) if z is not None else self.sub1[s][3].z
+                    local_x0 = None
+                    if x0 is not None:
+                        local_x0 = (x0[0][own].copy(), x0[1][own].copy())
+                    items1.append((ctx_key, s, z1, local_x0, tol, octx))
+                step1_out = self.executor.map(_dse_step1_task, items1)
+            else:
+                def step1(s: int):
+                    subnet1, _, own, ms1 = self.sub1[s]
+                    t0 = time.perf_counter()
+                    with obs.span("dse.step1.subsystem", s=s):
+                        if self.reuse_structures:
+                            est = self._est1[s]
+                        else:
+                            est = WlsEstimator(
+                                subnet1, ms1, solver=self.solver, use_cache=False
+                            )
+                        local_x0 = None
+                        if x0 is not None:
+                            local_x0 = (x0[0][own].copy(), x0[1][own].copy())
+                        z1 = self._step1_z(s, z) if z is not None else None
+                        res = est.estimate(tol=tol, x0=local_x0, z=z1)
+                    return res, time.perf_counter() - t0, None
+
+                step1_out = self.executor.map(step1, range(dec.m))
+
+            for s, (res, dt, wspans) in enumerate(step1_out):
+                if wspans:
+                    obs.adopt(wspans)
                 own = dec.buses(s)
-                z1 = self._step1_z(s, z) if z is not None else self.sub1[s][3].z
-                local_x0 = None
-                if x0 is not None:
-                    local_x0 = (x0[0][own].copy(), x0[1][own].copy())
-                items1.append((ctx_key, s, z1, local_x0, tol))
-            step1_out = self.executor.map(_dse_step1_task, items1)
-        else:
-            def step1(s: int):
-                subnet1, _, own, ms1 = self.sub1[s]
-                t0 = time.perf_counter()
-                if self.reuse_structures:
-                    est = self._est1[s]
-                else:
-                    est = WlsEstimator(
-                        subnet1, ms1, solver=self.solver, use_cache=False
-                    )
-                local_x0 = None
-                if x0 is not None:
-                    local_x0 = (x0[0][own].copy(), x0[1][own].copy())
-                z1 = self._step1_z(s, z) if z is not None else None
-                res = est.estimate(tol=tol, x0=local_x0, z=z1)
-                return res, time.perf_counter() - t0
-
-            step1_out = self.executor.map(step1, range(dec.m))
-
-        for s, (res, dt) in enumerate(step1_out):
-            own = dec.buses(s)
-            records[s].step1_time = dt
-            records[s].step1_result = res
-            Vm[own] = res.Vm
-            Va[own] = res.Va
+                records[s].step1_time = dt
+                records[s].step1_result = res
+                Vm[own] = res.Vm
+                Va[own] = res.Va
 
         # ---- DSE Step 2 rounds: exchange + re-evaluate ----
         # Each round snapshots the published state, fans the per-subsystem
@@ -487,62 +518,73 @@ class DistributedStateEstimator:
         # bit-identical.
         last2: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         round_deltas: list[float] = []
-        for _ in range(rounds):
-            published_vm = Vm.copy()
-            published_va = Va.copy()
+        for rnd in range(rounds):
+            with obs.span("dse.exchange", round=rnd):
+                published_vm = Vm.copy()
+                published_va = Va.copy()
 
-            if self.reuse_structures:
-                # One shared input builder for every backend: identical
-                # (z, x0) arrays go into the cached estimators whether the
-                # solve runs inline, on a thread or in a worker process.
-                inputs = [
-                    self._step2_inputs(s, published_vm, published_va, last2, z)
-                    for s in range(dec.m)
-                ]
+                if self.reuse_structures:
+                    # One shared input builder for every backend: identical
+                    # (z, x0) arrays go into the cached estimators whether the
+                    # solve runs inline, on a thread or in a worker process.
+                    inputs = [
+                        self._step2_inputs(s, published_vm, published_va, last2, z)
+                        for s in range(dec.m)
+                    ]
 
+            # Entered manually (closed after the update loop); if a solve
+            # raises, the enclosing dse.frame span's exit restores the
+            # thread's context, so no token leaks past run().
+            step2_span = obs.span("dse.step2", round=rnd)
+            step2_span.__enter__()
+            octx = obs.pack_current_context()
             if use_process:
                 items2 = [
-                    (ctx_key, s, inputs[s][0], inputs[s][1], inputs[s][2], tol)
+                    (ctx_key, s, inputs[s][0], inputs[s][1], inputs[s][2], tol,
+                     octx)
                     for s in range(dec.m)
                 ]
                 results = self.executor.map(_dse_step2_task, items2)
             else:
                 def step2(s: int):
                     subnet2, bmap2, xbuses, ext, ms2 = self.sub2[s]
-                    if self.reuse_structures:
-                        est = self._step2_cache[s][0]
-                        z2, x0_vm, x0_va = inputs[s]
-                    else:
-                        # Reference path: rebuild the pseudo measurements,
-                        # the merged set and the estimator from scratch.
-                        ext_local = bmap2[ext]
-                        pseudo = pseudo_measurements(
-                            ext_local, published_vm[ext], published_va[ext]
-                        )
-                        est = WlsEstimator(
-                            subnet2,
-                            ms2.merged_with(pseudo),
-                            solver=self.solver,
-                            use_cache=False,
-                        )
-                        z2 = None
-                        if self.warm_start and s in last2:
-                            x0_vm, x0_va = last2[s]
-                            x0_vm, x0_va = x0_vm.copy(), x0_va.copy()
-                            x0_vm[ext_local] = published_vm[ext]
-                            x0_va[ext_local] = published_va[ext]
+                    with obs.span("dse.step2.subsystem", s=s):
+                        if self.reuse_structures:
+                            est = self._step2_cache[s][0]
+                            z2, x0_vm, x0_va = inputs[s]
                         else:
-                            x0_vm = published_vm[xbuses]
-                            x0_va = published_va[xbuses]
+                            # Reference path: rebuild the pseudo measurements,
+                            # the merged set and the estimator from scratch.
+                            ext_local = bmap2[ext]
+                            pseudo = pseudo_measurements(
+                                ext_local, published_vm[ext], published_va[ext]
+                            )
+                            est = WlsEstimator(
+                                subnet2,
+                                ms2.merged_with(pseudo),
+                                solver=self.solver,
+                                use_cache=False,
+                            )
+                            z2 = None
+                            if self.warm_start and s in last2:
+                                x0_vm, x0_va = last2[s]
+                                x0_vm, x0_va = x0_vm.copy(), x0_va.copy()
+                                x0_vm[ext_local] = published_vm[ext]
+                                x0_va[ext_local] = published_va[ext]
+                            else:
+                                x0_vm = published_vm[xbuses]
+                                x0_va = published_va[xbuses]
 
-                    t0 = time.perf_counter()
-                    res = est.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
-                    return res, time.perf_counter() - t0
+                        t0 = time.perf_counter()
+                        res = est.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+                    return res, time.perf_counter() - t0, None
 
                 results = self.executor.map(step2, range(dec.m))
 
             delta = 0.0
-            for s, (res, dt) in enumerate(results):
+            for s, (res, dt, wspans) in enumerate(results):
+                if wspans:
+                    obs.adopt(wspans)
                 _, bmap2, xbuses, ext, _ = self.sub2[s]
                 last2[s] = (res.Vm, res.Va)
                 rec = records[s]
@@ -566,6 +608,7 @@ class DistributedStateEstimator:
                 )
                 Vm[scope] = res.Vm[local]
                 Va[scope] = res.Va[local]
+            step2_span.__exit__(None, None, None)
             round_deltas.append(delta)
 
         # ---- Final step: solutions already aggregated in (Vm, Va) ----

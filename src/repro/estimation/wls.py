@@ -10,8 +10,11 @@ dropped.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from .. import obs
 from ..grid.network import Network
 from ..measurements.functions import MeasurementModel
 from ..measurements.types import MeasType, MeasurementSet
@@ -110,6 +113,7 @@ class WlsEstimator:
         :class:`EstimationError` on a failed normal-equation solve (e.g.
         unobservable network).
         """
+        t_start = time.perf_counter() if obs.enabled() else 0.0
         net, model, ms = self.net, self.model, self.mset
         n = net.n_bus
         if len(ms) < self.n_states:
@@ -163,6 +167,12 @@ class WlsEstimator:
                 break
 
         objective = float(r @ (w * r))
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.histogram("wls.estimate.seconds", solver=self.solver).observe(
+                time.perf_counter() - t_start
+            )
+            reg.counter("wls.iterations_total", solver=self.solver).inc(it)
         return EstimationResult(
             converged=converged,
             iterations=it,

@@ -29,6 +29,7 @@ import socket
 import threading
 import time
 
+from .. import obs
 from .message import FrameError, PeerClosed, StreamReader
 from .transports import InprocTransport, transport_for
 
@@ -148,6 +149,8 @@ class MWClient:
         """Account for and enqueue one received payload (also the sink for
         fast-path mux links attached by the fabric)."""
         self.bytes_received += len(payload)
+        if obs.enabled():
+            obs.metrics().counter("mw.client.frames_received_total").inc()
         self.buffer.put(payload)
 
     # -- TCP: one selector loop over the listener and every connection --
@@ -289,6 +292,10 @@ class MWClient:
         else:
             self._send_pooled(url, lambda conn: conn.send_bytes(payload))
         self.bytes_sent += len(payload)
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("mw.client.frames_sent_total").inc()
+            reg.counter("mw.client.bytes_sent_total").inc(len(payload))
 
     def send_many(self, destination: str, payloads) -> None:
         """Deliver several payloads toward one destination, coalesced into
@@ -304,7 +311,12 @@ class MWClient:
                 conn.send_many(payloads)
         else:
             self._send_pooled(url, lambda conn: conn.send_many(payloads))
-        self.bytes_sent += sum(len(p) for p in payloads)
+        nbytes = sum(len(p) for p in payloads)
+        self.bytes_sent += nbytes
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("mw.client.frames_sent_total").inc(len(payloads))
+            reg.counter("mw.client.bytes_sent_total").inc(nbytes)
 
     def recv(self, timeout: float | None = 5.0) -> bytes:
         """``MW_Client_Recv``: take the next payload from the local buffer."""

@@ -31,22 +31,44 @@ import selectors
 import socket
 import threading
 
+from .. import obs
+from ..obs import SpanContext
 from .endpoints import parse_endpoint
 from .message import (
     FLAG_CONTROL,
+    FLAG_TRACED,
     FrameError,
     MUX_HEADER,
     MUX_VERSION,
     PeerClosed,
     StreamReader,
+    read_trace_context,
     recv_mux_frame,
     send_mux_frame,
     send_mux_frames,
     sendmsg_all,
+    strip_trace_context,
 )
 from .transports import _size_socket_buffers
 
 __all__ = ["MuxRouter", "InprocMuxRouter"]
+
+
+def _hop_span(flags: int, payload, src: int, dst: int):
+    """Router-hop span parented to the *sender's* span via the trace
+    context carried in the frame (wire-level context propagation); returns
+    ``None`` when the frame is untraced or observability is off here."""
+    if not (flags & FLAG_TRACED) or not obs.enabled():
+        return None
+    try:
+        trace_id, span_id, sampled = read_trace_context(payload)
+    except FrameError:  # pragma: no cover - malformed peer
+        return None
+    return obs.span(
+        "mux.forward",
+        parent=SpanContext(trace_id, span_id, sampled),
+        src=src, dst=dst, nbytes=len(payload),
+    )
 
 
 class _TcpMuxLink:
@@ -71,17 +93,20 @@ class _TcpMuxLink:
                 return
             if flags & FLAG_CONTROL:
                 continue
+            if flags & FLAG_TRACED:
+                # metadata prefix is for the routing layer, not the app
+                payload = strip_trace_context(payload)
             self._deliver(payload)
 
-    def send(self, dst: int, payload) -> None:
+    def send(self, dst: int, payload, *, flags: int = 0) -> None:
         with self._send_lock:
-            send_mux_frame(self._sock, self.my_id, dst, payload)
+            send_mux_frame(self._sock, self.my_id, dst, payload, flags=flags)
 
-    def send_many(self, frames) -> None:
+    def send_many(self, frames, *, flags: int = 0) -> None:
         """``frames`` is an iterable of ``(dst, payload)``; all of them
         ride one scatter-gather syscall."""
         with self._send_lock:
-            send_mux_frames(self._sock, self.my_id, frames)
+            send_mux_frames(self._sock, self.my_id, frames, flags=flags)
 
     def close(self) -> None:
         if self._closed:
@@ -218,11 +243,19 @@ class MuxRouter:
                 continue
             out = self._routes.get(dst)
             if out is None:
-                self.frames_dropped += 1
+                with self._stats_lock:
+                    self.frames_dropped += 1
+                if obs.enabled():
+                    obs.metrics().counter("mux.frames_dropped_total").inc()
                 continue
             header = MUX_HEADER.pack(MUX_VERSION, flags, src, dst, len(payload))
+            hop = _hop_span(flags, payload, src, dst)
             try:
-                sendmsg_all(out, [header, payload])
+                if hop is not None:
+                    with hop:
+                        sendmsg_all(out, [header, payload])
+                else:
+                    sendmsg_all(out, [header, payload])
             except OSError:
                 self._drop_conn(out)
                 continue
@@ -230,6 +263,10 @@ class MuxRouter:
                 rec = self._stats.setdefault((src, dst), [0, 0])
                 rec[0] += 1
                 rec[1] += len(payload)
+            if obs.enabled():
+                m = obs.metrics()
+                m.counter("mux.frames_forwarded_total").inc()
+                m.counter("mux.bytes_forwarded_total").inc(len(payload))
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[tuple[int, int], tuple[int, int]]:
@@ -264,17 +301,17 @@ class _InprocMuxLink:
         self.my_id = my_id
         self._closed = False
 
-    def send(self, dst: int, payload) -> None:
+    def send(self, dst: int, payload, *, flags: int = 0) -> None:
         if self._closed:
             raise RuntimeError("link closed")
-        self._router._inbox.put((self.my_id, dst, payload))
+        self._router._inbox.put((self.my_id, dst, payload, flags))
 
-    def send_many(self, frames) -> None:
+    def send_many(self, frames, *, flags: int = 0) -> None:
         if self._closed:
             raise RuntimeError("link closed")
         inbox = self._router._inbox
         for dst, payload in frames:
-            inbox.put((self.my_id, dst, payload))
+            inbox.put((self.my_id, dst, payload, flags))
 
     def close(self) -> None:
         self._closed = True
@@ -314,16 +351,31 @@ class InprocMuxRouter:
             item = self._inbox.get()
             if item is _STOP:
                 return
-            src, dst, payload = item
+            src, dst, payload, flags = item
             deliver = self._deliver.get(dst)
             if deliver is None:
-                self.frames_dropped += 1
+                with self._stats_lock:
+                    self.frames_dropped += 1
+                if obs.enabled():
+                    obs.metrics().counter("mux.frames_dropped_total").inc()
                 continue
-            deliver(payload)
+            nbytes = len(payload)
+            hop = _hop_span(flags, payload, src, dst)
+            if flags & FLAG_TRACED:
+                payload = strip_trace_context(payload)
+            if hop is not None:
+                with hop:
+                    deliver(payload)
+            else:
+                deliver(payload)
             with self._stats_lock:
                 rec = self._stats.setdefault((src, dst), [0, 0])
                 rec[0] += 1
-                rec[1] += len(payload)
+                rec[1] += nbytes
+            if obs.enabled():
+                m = obs.metrics()
+                m.counter("mux.frames_forwarded_total").inc()
+                m.counter("mux.bytes_forwarded_total").inc(nbytes)
 
     def stats(self) -> dict[tuple[int, int], tuple[int, int]]:
         with self._stats_lock:

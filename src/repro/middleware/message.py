@@ -35,6 +35,11 @@ __all__ = [
     "MUX_HEADER",
     "MUX_VERSION",
     "FLAG_CONTROL",
+    "FLAG_TRACED",
+    "TRACE_CTX",
+    "attach_trace_context",
+    "read_trace_context",
+    "strip_trace_context",
     "sendmsg_all",
     "send_frame",
     "send_frames",
@@ -56,9 +61,49 @@ MUX_HEADER = struct.Struct(">BBHHI")
 MUX_VERSION = 1
 #: control frame (connection registration HELLO / ACK), not forwarded data
 FLAG_CONTROL = 0x01
+#: the payload starts with a packed trace context (wire-level context
+#: propagation: the router hop and the receiver join the sender's trace)
+FLAG_TRACED = 0x02
+
+#: trace-context prefix carried by FLAG_TRACED payloads:
+#: sampled flag, trace id, span id (17 bytes)
+TRACE_CTX = struct.Struct(">BQQ")
 
 #: scatter-gather batches stay well under IOV_MAX (1024 on Linux)
 _IOV_BATCH = 256
+
+
+def attach_trace_context(payload, ctx) -> tuple[bytes, int]:
+    """Prefix ``payload`` with the packed span context ``ctx``.
+
+    Returns ``(new_payload, FLAG_TRACED)``; the mux sender ORs the flag
+    into the frame header so the router and the receiving link know the
+    first :data:`TRACE_CTX` bytes are metadata, not application data.
+    """
+    prefix = TRACE_CTX.pack(1 if ctx.sampled else 0, ctx.trace_id, ctx.span_id)
+    return prefix + payload, FLAG_TRACED
+
+
+def read_trace_context(payload) -> tuple[int, int, bool]:
+    """Read ``(trace_id, span_id, sampled)`` from a traced payload's
+    prefix without consuming it (the router peeks; only the final
+    receiver strips)."""
+    if len(payload) < TRACE_CTX.size:
+        raise FrameError("traced payload shorter than its trace context")
+    sampled, trace_id, span_id = TRACE_CTX.unpack_from(payload, 0)
+    return trace_id, span_id, bool(sampled)
+
+
+def strip_trace_context(payload):
+    """Remove the trace-context prefix, returning the application payload.
+
+    Mutable buffers (``bytearray``) are trimmed in place (no new
+    allocation); immutable ones are sliced.
+    """
+    if isinstance(payload, bytearray):
+        del payload[: TRACE_CTX.size]
+        return payload
+    return payload[TRACE_CTX.size :]
 
 
 class FrameError(RuntimeError):
@@ -161,14 +206,15 @@ def send_mux_frame(
     sendmsg_all(sock, [header, payload])
 
 
-def send_mux_frames(sock: socket.socket, src: int, frames) -> None:
+def send_mux_frames(sock: socket.socket, src: int, frames, *, flags: int = 0) -> None:
     """Batch-coalesced mux send: ``frames`` is an iterable of
-    ``(dst, payload)`` pairs; all headers + payloads ride one syscall."""
+    ``(dst, payload)`` pairs; all headers + payloads ride one syscall.
+    ``flags`` applies to every frame of the burst."""
     parts = []
     for dst, payload in frames:
         if len(payload) > MAX_FRAME:
             raise FrameError(f"frame too large: {len(payload)}")
-        parts.append(MUX_HEADER.pack(MUX_VERSION, 0, src, dst, len(payload)))
+        parts.append(MUX_HEADER.pack(MUX_VERSION, flags, src, dst, len(payload)))
         parts.append(payload)
     if parts:
         sendmsg_all(sock, parts)

@@ -20,6 +20,7 @@ import time
 from collections import deque
 from typing import Callable
 
+from .. import obs
 from .endpoints import parse_endpoint
 from .message import FrameError
 from .transports import InprocTransport, transport_for
@@ -41,6 +42,9 @@ class MifComponent:
         self.out_endpoint: str | None = None
         self.frames_relayed = 0
         self.bytes_relayed = 0
+        # One handler thread per accepted connection can relay for the
+        # same component, so the counters are guarded.
+        self._stats_lock = threading.Lock()
         # GridStat-style QoS telemetry: per-frame relay handling latency.
         self._latencies: deque[float] = deque(maxlen=4096)
 
@@ -51,9 +55,11 @@ class MifComponent:
         transform → forward), the quantity a GridStat-like QoS manager
         would track against its latency requirements.
         """
-        if not self._latencies:
+        with self._stats_lock:
+            lat = list(self._latencies)
+        if not lat:
             return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
-        arr = sorted(self._latencies)
+        arr = sorted(lat)
         n = len(arr)
         return {
             "count": float(n),
@@ -167,9 +173,15 @@ class MifPipeline:
                 t0 = time.perf_counter()
                 payload = comp.transform(payload)
                 out.send_bytes(payload)
-                comp._latencies.append(time.perf_counter() - t0)
-                comp.frames_relayed += 1
-                comp.bytes_relayed += len(payload)
+                dt = time.perf_counter() - t0
+                with comp._stats_lock:
+                    comp._latencies.append(dt)
+                    comp.frames_relayed += 1
+                    comp.bytes_relayed += len(payload)
+                if obs.enabled():
+                    obs.metrics().histogram(
+                        "mw.pipeline.relay.seconds"
+                    ).observe(dt)
         except (ConnectionRefusedError, OSError):  # pragma: no cover - races
             pass
         finally:

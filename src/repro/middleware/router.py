@@ -19,8 +19,10 @@ Two interchangeable data planes sit behind the same ``send``/``recv`` API:
 
 from __future__ import annotations
 
+from .. import obs
 from .client import EndpointRegistry, MWClient
 from .fastpath import InprocMuxRouter, MuxRouter
+from .message import FLAG_TRACED, attach_trace_context
 from .pipeline import MifComponent, MifPipeline
 from .transports import InprocTransport
 
@@ -145,13 +147,24 @@ class MiddlewareFabric:
         if (src, dst) not in self._pair_set:
             raise KeyError(f"no pipeline for {src} -> {dst}")
 
+    @staticmethod
+    def _trace_wrap(payload):
+        """Attach the calling thread's span context to a fast-plane payload
+        (wire-level context propagation); no-op outside sampled spans."""
+        ctx = obs.current_context()
+        if ctx is None or not ctx.sampled:
+            return payload, 0
+        return attach_trace_context(payload, ctx)
+
     def send(self, src: str, dst: str, payload: bytes) -> None:
         """Send through the (src → dst) data plane — estimator → router
         hop → destination buffer."""
         if self.fast:
             self._check_pair(src, dst)
-            self._links[src].send(self._ids[dst], payload)
-            self.clients[src].bytes_sent += len(payload)
+            nbytes = len(payload)
+            payload, flags = self._trace_wrap(payload)
+            self._links[src].send(self._ids[dst], payload, flags=flags)
+            self.clients[src].bytes_sent += nbytes
             return
         try:
             inbound = self.inbound[(src, dst)]
@@ -168,10 +181,19 @@ class MiddlewareFabric:
         if self.fast:
             for dst, _ in frames:
                 self._check_pair(src, dst)
+            nbytes = sum(len(p) for _, p in frames)
+            flags = 0
+            ctx = obs.current_context()
+            if ctx is not None and ctx.sampled:
+                frames = [
+                    (dst, attach_trace_context(p, ctx)[0]) for dst, p in frames
+                ]
+                flags = FLAG_TRACED
             self._links[src].send_many(
-                (self._ids[dst], payload) for dst, payload in frames
+                ((self._ids[dst], payload) for dst, payload in frames),
+                flags=flags,
             )
-            self.clients[src].bytes_sent += sum(len(p) for _, p in frames)
+            self.clients[src].bytes_sent += nbytes
             return
         for dst, payload in frames:
             self.send(src, dst, payload)

@@ -44,6 +44,9 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
+from . import obs
+from .obs import use_context
+
 __all__ = [
     "SubsystemExecutor",
     "SerialExecutor",
@@ -171,11 +174,25 @@ class ThreadPoolBackend(SubsystemExecutor):
         return self._bind_worker()
 
     def map(self, fn: Callable, items: Iterable) -> list:
+        # Trace-context propagation: capture the submitting thread's active
+        # span context and re-activate it around every task, so spans
+        # opened inside tasks join the caller's trace even though pool
+        # threads have their own (empty) contextvar state.
+        ctx = obs.current_context()
+
         def wrapped(item):
             self._bind_worker()
-            return fn(item)
+            if ctx is None:
+                return fn(item)
+            with use_context(ctx):
+                return fn(item)
 
-        return list(self._ensure_pool().map(wrapped, items))
+        results = list(self._ensure_pool().map(wrapped, items))
+        if obs.enabled():
+            obs.metrics().counter(
+                "executor.tasks_total", backend="threads"
+            ).inc(len(results))
+        return results
 
     def shutdown(self) -> None:
         with self._pool_lock:
@@ -213,6 +230,11 @@ def worker_context(key: str):
 
 def _pool_initializer(specs: tuple) -> None:
     """Runs once per worker process: build every registered context."""
+    # A forked worker inherits the parent's observability state (enabled
+    # flag, recorded spans); none of it is meaningful here — worker spans
+    # are shipped back explicitly via RemoteSpanRecorder on the result
+    # channel, so clear the inherited state and disable the global hub.
+    obs.reset_in_worker()
     for key, builder, payload in specs:
         _WORKER_CONTEXTS[key] = builder(payload)
 
@@ -338,6 +360,10 @@ class ProcessPoolBackend(SubsystemExecutor):
                 raise exc from WorkerError(tb)
             results.append(value)
             pids.append(pid)
+        if obs.enabled():
+            obs.metrics().counter(
+                "executor.tasks_total", backend="processes"
+            ).inc(len(results))
         return results, pids
 
     def shutdown(self) -> None:

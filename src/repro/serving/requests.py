@@ -15,6 +15,7 @@ batch the request was coalesced into).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -67,27 +68,51 @@ class ScenarioResult:
 
 @dataclass
 class ServiceStats:
-    """Aggregate serving statistics (updated as batches resolve)."""
+    """Aggregate serving statistics (updated as batches resolve).
+
+    Internally thread-safe: results resolve on the dispatcher thread while
+    callers read from theirs, so every mutation goes through
+    :meth:`record_request` / :meth:`record_batch` under the stats' own
+    lock, and the derived readers snapshot under it."""
 
     n_requests: int = 0
     n_batches: int = 0
     batch_sizes: list[int] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_request(self, latency: float) -> None:
+        with self._lock:
+            self.n_requests += 1
+            self.latencies.append(float(latency))
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.n_batches += 1
+            self.batch_sizes.append(int(size))
 
     @property
     def mean_batch_size(self) -> float:
-        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        with self._lock:
+            sizes = list(self.batch_sizes)
+        return float(np.mean(sizes)) if sizes else 0.0
 
     def latency_percentile(self, p: float) -> float:
         """Latency percentile in seconds (``p`` in [0, 100])."""
-        if not self.latencies:
+        with self._lock:
+            lat = list(self.latencies)
+        if not lat:
             return 0.0
-        return float(np.percentile(self.latencies, p))
+        return float(np.percentile(lat, p))
 
     @property
     def throughput_window(self) -> float:
         """Scenarios per second over the sum of recorded latencies' span —
         callers timing a closed workload should prefer wall-clock timing;
         this is a rough live indicator."""
-        total = sum(self.latencies)
-        return self.n_requests / total if total > 0 else 0.0
+        with self._lock:
+            total = sum(self.latencies)
+            n = self.n_requests
+        return n / total if total > 0 else 0.0

@@ -30,6 +30,7 @@ import time
 from concurrent.futures import Future, as_completed
 from typing import Iterable, Iterator
 
+from .. import obs
 from ..contingency.analysis import ContingencyAnalyzer
 from ..contingency.parallel import run_parallel
 from ..contingency.screening import Contingency
@@ -140,8 +141,7 @@ class ScenarioService:
             dec.net, method=contingency_method
         )
 
-        self.stats = ServiceStats()
-        self._stats_lock = threading.Lock()
+        self.stats = ServiceStats()  # internally locked; see requests.py
         self._queue: queue.Queue = queue.Queue()
         self._dispatcher: threading.Thread | None = None
         self._dispatch_lock = threading.Lock()
@@ -236,33 +236,39 @@ class ScenarioService:
         cons = [it for it in batch if isinstance(it[0], ContingencyRequest)]
         ests = [it for it in batch if isinstance(it[0], EstimationRequest)]
 
-        if cons:
-            try:
-                report = run_parallel(
-                    self.analyzer,
-                    [it[0].contingency for it in cons],
-                    executor=self.executor,
-                    scheme="dynamic",
-                )
-                for it, res in zip(cons, report.results):
-                    self._resolve(it, res, size)
-            except BaseException as exc:
-                for _, fut, _ in cons:
-                    if not fut.done():
-                        fut.set_exception(exc)
+        with obs.span(
+            "serving.batch", size=size,
+            estimations=len(ests), contingencies=len(cons),
+        ):
+            if cons:
+                try:
+                    report = run_parallel(
+                        self.analyzer,
+                        [it[0].contingency for it in cons],
+                        executor=self.executor,
+                        scheme="dynamic",
+                    )
+                    for it, res in zip(cons, report.results):
+                        self._resolve(it, res, size)
+                except BaseException as exc:
+                    for _, fut, _ in cons:
+                        if not fut.done():
+                            fut.set_exception(exc)
 
-        for it in ests:
-            req = it[0]
-            try:
-                value = self._run_estimation(req)
-            except BaseException as exc:
-                it[1].set_exception(exc)
-            else:
-                self._resolve(it, value, size)
+            for it in ests:
+                req = it[0]
+                try:
+                    value = self._run_estimation(req)
+                except BaseException as exc:
+                    it[1].set_exception(exc)
+                else:
+                    self._resolve(it, value, size)
 
-        with self._stats_lock:
-            self.stats.n_batches += 1
-            self.stats.batch_sizes.append(size)
+        self.stats.record_batch(size)
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("serving.batches_total").inc()
+            reg.histogram("serving.batch_size").observe(size)
 
     def _run_estimation(self, req: EstimationRequest):
         if self._dse is not None:
@@ -272,9 +278,11 @@ class ScenarioService:
     def _resolve(self, item, value, batch_size: int) -> None:
         request, fut, t_submit = item
         latency = time.perf_counter() - t_submit
-        with self._stats_lock:
-            self.stats.n_requests += 1
-            self.stats.latencies.append(latency)
+        self.stats.record_request(latency)
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("serving.requests_total").inc()
+            reg.histogram("serving.latency.seconds").observe(latency)
         fut.set_result(
             ScenarioResult(
                 request=request,

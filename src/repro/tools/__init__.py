@@ -3,7 +3,9 @@
 - ``python -m repro.tools.estimate`` — one-shot state estimation on a case.
 - ``python -m repro.tools.decompose`` — decomposition + cluster-mapping report.
 - ``python -m repro.tools.run_session`` — multi-frame DSE session on the
-  architecture prototype.
+  architecture prototype (``--obs PATH`` records traces + metrics).
+- ``python -m repro.tools.obsreport`` — render a recorded observability
+  dump (flame summaries, metric tables, Prometheus text).
 
 All tools share the ``--case`` option: ``case4``, ``case14``, ``case118``
 or ``synthetic:<areas>x<buses>[:seed]``.

@@ -39,6 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run each frame on the live multi-threaded runtime "
                         "(concurrent estimator sites over middleware)")
     p.add_argument("--csv", help="write the per-frame table to this CSV file")
+    p.add_argument("--obs", metavar="PATH",
+                   help="record traces/metrics and dump the session as "
+                        "JSONL to PATH (render with repro.tools.obsreport)")
     p.add_argument("--seed", type=int, default=0)
     return p
 
@@ -46,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     net = load_case(args.case)
+    if args.obs:
+        from .. import obs
+
+        obs.configure(enabled=True, reset=True)
     run_ac_power_flow(net, flat_start=True)  # fail fast on unsolvable cases
 
     with ArchitecturePrototype.assemble(
@@ -90,6 +97,19 @@ def main(argv: list[str] | None = None) -> int:
 
             write_frames_csv(session.reports, args.csv)
             print(f"\nwrote {args.csv}")
+        if args.obs:
+            from .. import obs
+
+            n = obs.export_jsonl(
+                args.obs,
+                tracer=obs.tracer(),
+                registry=obs.metrics(),
+                frames=session.reports,
+                meta={"case": args.case, "frames": args.frames},
+            )
+            obs.configure(enabled=False, reset=True)
+            print(f"\nwrote {args.obs} ({n} records) — render with "
+                  f"python -m repro.tools.obsreport {args.obs}")
     return 0
 
 
