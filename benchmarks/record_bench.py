@@ -5,8 +5,9 @@ architecture), A1 (the PCG solver ablation on the IEEE-118 gain system),
 the hot-path seed-vs-optimised comparison, the PR-2 scale-out throughput
 grid, the PR-3 middleware fast path (pooled/batched small-message
 throughput, echo round-trip latency and the mux-fabric data path over
-localhost TCP), and the PR-4 observability instrumentation overhead on the
-warm DSE hot path — and writes the numbers to ``BENCH_pr4.json`` at the
+localhost TCP), the PR-4 observability instrumentation overhead on the
+warm DSE hot path, and the PR-5 fault-injection hook overhead on the live
+frame loop — and writes the numbers to ``BENCH_pr5.json`` at the
 repository root::
 
     PYTHONPATH=src python benchmarks/record_bench.py
@@ -22,8 +23,11 @@ round-trip latency; and — also on ≥ 2 cores, where timing is not swamped
 by single-core scheduler jitter — enabling observability at the default
 sampling must cost ≤ 5% on the warm IEEE-118 frame loop, with bit-identical
 estimator outputs either way (the parity check runs regardless of cores).
-On smaller hosts the numbers are still recorded (with the core count) but
-the scale-dependent gates are not evaluated.
+The PR-5 gate follows the same shape: an installed-but-idle fault injector
+must cost ≤ 5% on the live IEEE-118 frame loop (≥ 2 cores), with
+bit-identical outputs and zero fired faults on every host.  On smaller
+hosts the numbers are still recorded (with the core count) but the
+scale-dependent gates are not evaluated.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ from bench_middleware_fastpath import (  # noqa: E402
     measure_roundtrip_latency,
     measure_small_message_throughput,
 )
+from bench_fault_overhead import measure_fault_overhead  # noqa: E402
 from bench_obs_overhead import measure_obs_overhead  # noqa: E402
 from bench_scaleout_throughput import (  # noqa: E402
     backend_specs,
@@ -65,7 +70,7 @@ from repro.grid import run_ac_power_flow  # noqa: E402
 from repro.grid.cases import case118  # noqa: E402
 from repro.measurements import full_placement, generate_measurements  # noqa: E402
 
-OUT = ROOT / "BENCH_pr4.json"
+OUT = ROOT / "BENCH_pr5.json"
 
 
 def _setup118():
@@ -237,6 +242,22 @@ def _obs_gate(rec: dict, cores: int | None) -> tuple[bool, str]:
     return ok, f"{summary} (need <= +5.00%)"
 
 
+def _fault_gate(rec: dict, cores: int | None) -> tuple[bool, str]:
+    """≤5% installed-but-idle injector overhead on the live frame loop,
+    gated on ≥2 cores; bit-identical outputs and zero fired faults are
+    required on every host."""
+    summary = (
+        f"idle-injector overhead {rec['overhead_frac'] * 100:+.2f}%, "
+        f"bit-identical={rec['bit_identical']}, fired={rec['faults_fired']}"
+    )
+    if not rec["bit_identical"] or rec["faults_fired"] != 0:
+        return False, f"gate failed: outputs differ or faults fired ({summary})"
+    if (cores or 1) < 2:
+        return True, f"gate skipped: {cores} core(s) < 2 (recorded: {summary})"
+    ok = rec["overhead_frac"] <= 0.05
+    return ok, f"{summary} (need <= +5.00%)"
+
+
 def main() -> int:
     net, pf, dec, ms = _setup118()
 
@@ -279,8 +300,15 @@ def main() -> int:
     obs_ok, obs_msg = _obs_gate(obs_overhead, os.cpu_count())
     print(f"  {obs_msg}")
 
+    print("running fault-injection hook overhead (live frame loop) ...")
+    fault_overhead = measure_fault_overhead()
+    print(f"  uninstalled {fault_overhead['uninstalled_time_s'] * 1e3:.1f} ms  "
+          f"idle injector {fault_overhead['installed_idle_time_s'] * 1e3:.1f} ms")
+    fault_ok, fault_msg = _fault_gate(fault_overhead, os.cpu_count())
+    print(f"  {fault_msg}")
+
     payload = {
-        "pr": 4,
+        "pr": 5,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cores": os.cpu_count(),
@@ -293,6 +321,8 @@ def main() -> int:
         "middleware_fastpath_gate": fastpath_msg,
         "obs_overhead": obs_overhead,
         "obs_overhead_gate": obs_msg,
+        "fault_overhead": fault_overhead,
+        "fault_overhead_gate": fault_msg,
     }
     OUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT}")
@@ -306,7 +336,9 @@ def main() -> int:
         print(f"ACCEPTANCE FAILED: {fastpath_msg}")
     if not obs_ok:
         print(f"ACCEPTANCE FAILED: {obs_msg}")
-    return 0 if ok and scaleout_ok and fastpath_ok and obs_ok else 1
+    if not fault_ok:
+        print(f"ACCEPTANCE FAILED: {fault_msg}")
+    return 0 if ok and scaleout_ok and fastpath_ok and obs_ok and fault_ok else 1
 
 
 if __name__ == "__main__":

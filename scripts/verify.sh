@@ -27,4 +27,7 @@ python examples/middleware_roundtrip.py
 echo "== observability smoke (traces across workers + TCP mux hop) =="
 python examples/observability_demo.py
 
+echo "== chaos smoke (seeded fault plan, retries, degraded live run) =="
+python examples/chaos_demo.py
+
 echo "verify: OK"

@@ -20,10 +20,15 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
+from .. import faults
 from .simevent import SimEngine, SimEvent, Timeout
 from .topology import ClusterTopology
 
-__all__ = ["SimMessage", "SimComm"]
+__all__ = ["SimMessage", "SimComm", "SimLinkDown"]
+
+
+class SimLinkDown(RuntimeError):
+    """A send was attempted over a failed inter-cluster link."""
 
 
 @dataclass
@@ -66,6 +71,25 @@ class SimComm:
         self._waiting: dict[tuple[int, int, int], deque[SimEvent]] = {}
         self.stats_bytes = 0.0
         self.stats_messages = 0
+        #: inter-cluster links administratively failed via :meth:`fail_link`
+        self._failed_links: set[frozenset[str]] = set()
+        self.dropped_messages = 0
+
+    # ------------------------------------------------------------------
+    def fail_link(self, a: str, b: str) -> None:
+        """Fail the (symmetric) inter-cluster link between clusters ``a``
+        and ``b``: every later :meth:`send` crossing it raises
+        :class:`SimLinkDown` until :meth:`restore_link`.  Loopback
+        (``a == b``) cannot fail."""
+        self.topology.cluster(a)  # raises KeyError on unknown clusters
+        self.topology.cluster(b)
+        if a == b:
+            raise ValueError("cannot fail a cluster's loopback")
+        self._failed_links.add(frozenset((a, b)))
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring a failed link back (idempotent)."""
+        self._failed_links.discard(frozenset((a, b)))
 
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:
@@ -91,6 +115,26 @@ class SimComm:
             raise ValueError("nbytes must be non-negative")
         if extra_delay < 0:
             raise ValueError("extra_delay must be non-negative")
+        csrc, cdst = self.placement[src], self.placement[dst]
+        if csrc != cdst:
+            if self._failed_links and frozenset((csrc, cdst)) in self._failed_links:
+                raise SimLinkDown(f"link {csrc} <-> {cdst} is down")
+            inj = faults.active()
+            if inj is not None:
+                d = inj.decide("simmpi.link", (csrc, cdst))
+                if d:
+                    if d.action == "fail":
+                        raise SimLinkDown(
+                            f"fault injection: link {csrc} <-> {cdst} failed"
+                        )
+                    if d.action == "drop":
+                        # message silently lost on the wire; the sender
+                        # still pays its injection overhead
+                        self.dropped_messages += 1
+                        yield Timeout(1e-6)
+                        return
+                    if d.action == "delay":
+                        extra_delay += d.delay
         now = self.engine.now
         arrival = now + self.transfer_time(src, dst, nbytes) + extra_delay
         msg = SimMessage(src=src, dst=dst, tag=tag, payload=payload,

@@ -55,6 +55,7 @@ class ArchitecturePrototype:
         seed: int = 0,
         with_fabric: bool = False,
         fabric_tcp: bool = False,
+        fabric_fast: bool = False,
     ) -> "ArchitecturePrototype":
         """Decompose ``net`` and wire the architecture around it.
 
@@ -62,8 +63,9 @@ class ArchitecturePrototype:
         paper's 14,13,... split); otherwise a balanced ``m_subsystems``-way
         decomposition is computed.  ``with_fabric`` starts live middleware
         pipelines between neighbouring estimators (in-process queues, or
-        localhost TCP with ``fabric_tcp=True``); without it, communication
-        is accounted analytically on the simulated testbed only.
+        localhost TCP with ``fabric_tcp=True``; the multiplexed fast plane
+        with ``fabric_fast=True``); without it, communication is accounted
+        analytically on the simulated testbed only.
         """
         topology = topology or pnnl_testbed()
         if subsystem_sizes is not None:
@@ -84,7 +86,9 @@ class ArchitecturePrototype:
             for u, v in dec.quotient_edges():
                 pairs.append((f"se{u}", f"se{v}"))
                 pairs.append((f"se{v}", f"se{u}"))
-            fabric = MiddlewareFabric(names, pairs, use_tcp=fabric_tcp)
+            fabric = MiddlewareFabric(
+                names, pairs, use_tcp=fabric_tcp, fast=fabric_fast
+            )
             fabric.start()
 
         return cls(

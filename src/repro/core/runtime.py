@@ -27,7 +27,8 @@ from ..dse.algorithm import DistributedStateEstimator
 from ..dse.decomposition import Decomposition
 from ..estimation.wls import WlsEstimator
 from ..measurements.types import MeasurementSet
-from ..middleware.message import pack_state_update, unpack_state_update
+from ..middleware.errors import ClientClosed, MiddlewareError
+from ..middleware.message import FrameError, pack_state_update, unpack_state_update
 from ..middleware.router import MiddlewareFabric
 
 __all__ = ["LiveSiteStats", "LiveDseResult", "LiveDseRuntime"]
@@ -43,6 +44,9 @@ class LiveSiteStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     messages_received: int = 0
+    #: Step-2 rounds this site completed without its full neighbour set
+    #: (missed/corrupt updates, failed sends, blown round deadline)
+    degraded_rounds: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -55,6 +59,13 @@ class LiveDseResult:
     wall_time: float
     sites: dict[int, LiveSiteStats]
     errors: list[str] = field(default_factory=list)
+    #: site id -> Step-2 rounds the site ran degraded (empty when clean)
+    degraded: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def degraded_subsystems(self) -> list[int]:
+        """Sorted ids of the subsystems that ran any degraded round."""
+        return sorted(self.degraded)
 
     def state_error(self, Vm_true: np.ndarray, Va_true: np.ndarray) -> dict:
         dva = self.Va - Va_true
@@ -81,6 +92,14 @@ class LiveDseRuntime:
         Per-message receive timeout; a site that misses a neighbour's
         update records an error and re-uses its last known values, so a
         slow or dead peer degrades accuracy instead of deadlocking.
+    round_deadline:
+        Wall-clock budget per Step-2 exchange round, in seconds.  A site
+        that has not collected its full neighbour set by the deadline
+        stops waiting, runs the round on what it has (falling back to
+        last-known pseudo values) and records the round as degraded —
+        liveness under hard faults is bounded by ``rounds x deadline``
+        instead of ``rounds x neighbours x recv_timeout``.  ``None``
+        (default) keeps the per-message-timeout-only behaviour.
     use_cache:
         Reuse each site's estimators (cached Jacobian patterns,
         factorization orderings, merged pseudo structures) across Step-2
@@ -102,6 +121,7 @@ class LiveDseRuntime:
         solver: str = "lu",
         sensitivity_threshold: float = 0.5,
         recv_timeout: float = 10.0,
+        round_deadline: float | None = None,
         use_cache: bool = True,
         fast: bool = True,
     ):
@@ -115,6 +135,7 @@ class LiveDseRuntime:
         self.dec = dec
         self.solver = solver
         self.recv_timeout = recv_timeout
+        self.round_deadline = round_deadline
         self.use_tcp = use_tcp
         self.use_cache = use_cache
         self.fast = fast
@@ -209,7 +230,13 @@ class LiveDseRuntime:
 
             # ---- Step 2 rounds ----
             for r in range(rounds):
+                degraded_round = False
                 with obs.span("live.exchange", s=s, round=r):
+                    round_t1 = (
+                        None
+                        if self.round_deadline is None
+                        else time.monotonic() + self.round_deadline
+                    )
                     payload = pack_state_update(
                         publish.astype(np.int64),
                         np.array([vm_loc[int(b)] for b in publish]),
@@ -219,31 +246,79 @@ class LiveDseRuntime:
                     # fast plane (legacy falls back to per-pipeline sends);
                     # sending inside the span stamps the frames with this
                     # trace's context, so the router hop joins the trace
-                    fabric.send_many(
-                        f"se{s}", [(f"se{nb}", payload) for nb in nbrs]
-                    )
-                    st.bytes_sent += len(payload) * len(nbrs)
+                    try:
+                        fabric.send_many(
+                            f"se{s}", [(f"se{nb}", payload) for nb in nbrs]
+                        )
+                        st.bytes_sent += len(payload) * len(nbrs)
+                    except (MiddlewareError, ConnectionError, OSError) as exc:
+                        # this site is cut off from the fabric; keep
+                        # solving on last-known values, flag the round
+                        with err_lock:
+                            errors.append(
+                                f"site {s} round {r}: send failed: {exc!r}"
+                            )
+                        degraded_round = True
 
                     for _ in nbrs:
+                        timeout = self.recv_timeout
+                        if round_t1 is not None:
+                            remaining = round_t1 - time.monotonic()
+                            if remaining <= 0:
+                                with err_lock:
+                                    errors.append(
+                                        f"site {s} round {r}: "
+                                        "round deadline exceeded"
+                                    )
+                                degraded_round = True
+                                break
+                            timeout = min(timeout, remaining)
                         try:
-                            raw = fabric.recv(
-                                f"se{s}", timeout=self.recv_timeout
-                            )
+                            raw = fabric.recv(f"se{s}", timeout=timeout)
                         except TimeoutError:
                             with err_lock:
                                 errors.append(
                                     f"site {s} round {r}: "
                                     "neighbour update timed out"
                                 )
+                            degraded_round = True
                             continue
+                        except (ClientClosed, MiddlewareError) as exc:
+                            with err_lock:
+                                errors.append(
+                                    f"site {s} round {r}: recv failed: "
+                                    f"{exc!r}"
+                                )
+                            degraded_round = True
+                            break
                         st.bytes_received += len(raw)
                         st.messages_received += 1
-                        # views over the wire buffer; values are copied into
-                        # the known_* dicts below, so no aliasing escapes
-                        ids, vms, vas = unpack_state_update(raw, copy=False)
+                        try:
+                            # views over the wire buffer; values are copied
+                            # into the known_* dicts below, so no aliasing
+                            # escapes
+                            ids, vms, vas = unpack_state_update(
+                                raw, copy=False
+                            )
+                        except (FrameError, ValueError) as exc:
+                            # corrupted in flight; the neighbour's update
+                            # is lost for this round
+                            with err_lock:
+                                errors.append(
+                                    f"site {s} round {r}: corrupt update: "
+                                    f"{exc!r}"
+                                )
+                            degraded_round = True
+                            continue
                         for b, vm_b, va_b in zip(ids, vms, vas):
                             known_vm[int(b)] = float(vm_b)
                             known_va[int(b)] = float(va_b)
+                if degraded_round:
+                    st.degraded_rounds.append(r)
+                    if obs.enabled():
+                        obs.metrics().counter(
+                            "live.degraded_rounds_total"
+                        ).inc()
 
                 # pseudo measurements at the external boundary buses we know
                 ext_known = [int(b) for b in ext if int(b) in known_vm]
@@ -348,4 +423,9 @@ class LiveDseRuntime:
         return LiveDseResult(
             Vm=Vm, Va=Va, rounds=rounds, wall_time=wall_elapsed,
             sites=stats, errors=errors,
+            degraded={
+                s: list(st.degraded_rounds)
+                for s, st in stats.items()
+                if st.degraded_rounds
+            },
         )

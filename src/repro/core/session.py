@@ -24,6 +24,7 @@ from ..cluster.executor import MessageSpec, TaskSpec
 from ..dse.algorithm import BYTES_PER_EXCHANGED_BUS, DistributedStateEstimator
 from ..dse.sensitivity import exchange_bus_sets
 from ..measurements.types import MeasurementSet
+from ..middleware.errors import ClientClosed, MiddlewareError
 from ..middleware.message import pack_state_update
 from ..parallel import make_executor
 from .architecture import ArchitecturePrototype
@@ -48,9 +49,14 @@ class DseSession:
         Fan-out backend for the per-subsystem solves (see
         :class:`repro.parallel.SubsystemExecutor`); shared by every frame's
         DSE run.
-    reuse_structures, warm_start:
-        Hot-path knobs forwarded to
+    reuse_structures, warm_start, degrade_on_failure:
+        Hot-path / robustness knobs forwarded to
         :class:`~repro.dse.algorithm.DistributedStateEstimator`.
+    fabric_timeout:
+        Receive timeout (seconds) while draining the live middleware
+        exchange.  A site that misses updates — dead peer, dropped or
+        corrupted frames — is recorded in the frame report's
+        ``degraded_subsystems`` instead of failing the frame.
     """
 
     def __init__(
@@ -63,6 +69,8 @@ class DseSession:
         executor=None,
         reuse_structures: bool = True,
         warm_start: bool = True,
+        degrade_on_failure: bool = False,
+        fabric_timeout: float = 5.0,
     ):
         if bad_data_policy not in ("off", "detect", "identify"):
             raise ValueError("bad_data_policy must be off|detect|identify")
@@ -73,6 +81,8 @@ class DseSession:
         self.executor = make_executor(executor)
         self.reuse_structures = reuse_structures
         self.warm_start = warm_start
+        self.degrade_on_failure = degrade_on_failure
+        self.fabric_timeout = fabric_timeout
         self.noise_estimator = NoiseLevelEstimator(arch.net)
         self.exchange_sets = exchange_bus_sets(
             arch.dec, threshold=sensitivity_threshold
@@ -174,9 +184,11 @@ class DseSession:
             executor=self.executor,
             reuse_structures=self.reuse_structures,
             warm_start=self.warm_start,
+            degrade_on_failure=self.degrade_on_failure,
         )
         result = dse.run(rounds=rounds, x0=warm)
         wall_elapsed = time.perf_counter() - wall_t0
+        degraded = set(result.degraded_subsystems)
 
         # (4) Step-2 remapping with updated weights
         with obs.span("partition.remap"):
@@ -187,7 +199,7 @@ class DseSession:
         # (5) optional: push real pseudo-measurement bytes through pipelines
         if arch.fabric is not None:
             with obs.span("session.fabric_exchange"):
-                self._exercise_fabric(result)
+                degraded |= self._exercise_fabric(result)
 
         # (6) replay on the simulated testbed
         with obs.span("session.replay_sim"):
@@ -213,6 +225,9 @@ class DseSession:
             report.vm_rmse_vs_truth = err["vm_rmse"]
             report.va_rmse_vs_truth = err["va_rmse"]
         report.bad_data = bad_data_report
+        report.degraded_subsystems = sorted(degraded)
+        if degraded and obs.enabled():
+            obs.metrics().counter("session.degraded_frames_total").inc()
 
         self._prev_vm = result.Vm
         self._prev_va = result.Va
@@ -221,21 +236,41 @@ class DseSession:
         return report
 
     # ------------------------------------------------------------------
-    def _exercise_fabric(self, result) -> None:
-        """Move each subsystem's exchange set through the live pipelines."""
+    def _exercise_fabric(self, result) -> set[int]:
+        """Move each subsystem's exchange set through the live pipelines.
+
+        Fault-tolerant: a site whose sends fail is cut off from the fabric
+        and marked degraded; a site that cannot collect its full neighbour
+        set (dead peer, dropped/corrupt frames, timeout) is marked
+        degraded too.  Returns the degraded site ids — a clean fabric
+        returns an empty set and behaves exactly as before.
+        """
         arch = self.arch
         dec = arch.dec
+        degraded: set[int] = set()
         for s in range(dec.m):
             pub = self.exchange_sets[s]
             payload = pack_state_update(
                 dec.net.bus_ids[pub], result.Vm[pub], result.Va[pub]
             )
             for nb in dec.neighbors(s):
-                arch.fabric.send(f"se{s}", f"se{int(nb)}", payload)
+                try:
+                    arch.fabric.send(f"se{s}", f"se{int(nb)}", payload)
+                except (MiddlewareError, ConnectionError, OSError):
+                    # the sender is cut off; its neighbours will miss the
+                    # update and surface on the receive side
+                    degraded.add(s)
         # drain every site's buffer
         for s in range(dec.m):
             for _ in range(len(dec.neighbors(s))):
-                arch.fabric.recv(f"se{s}", timeout=5.0)
+                try:
+                    arch.fabric.recv(f"se{s}", timeout=self.fabric_timeout)
+                except TimeoutError:
+                    degraded.add(s)
+                except (ClientClosed, MiddlewareError):
+                    degraded.add(s)
+                    break
+        return degraded
 
     # ------------------------------------------------------------------
     def _replay(self, result, map1, map2, moved_weight) -> PhaseBreakdown:

@@ -116,6 +116,9 @@ class FrameReport:
     va_rmse_vs_truth: float | None = None
     centralized_sim_time: float | None = None
     bad_data: object | None = None  # DistributedBadDataReport when enabled
+    #: subsystems that completed this frame degraded (failed solves,
+    #: missed exchanges, dead middleware peers); empty on a clean frame
+    degraded_subsystems: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """JSON-ready dict; ``bad_data`` is flattened to its summary
@@ -153,6 +156,7 @@ class FrameReport:
             "va_rmse_vs_truth": self.va_rmse_vs_truth,
             "centralized_sim_time": self.centralized_sim_time,
             "bad_data": bad,
+            "degraded_subsystems": [int(s) for s in self.degraded_subsystems],
         }
 
     @classmethod
@@ -175,4 +179,7 @@ class FrameReport:
             va_rmse_vs_truth=d.get("va_rmse_vs_truth"),
             centralized_sim_time=d.get("centralized_sim_time"),
             bad_data=d.get("bad_data"),
+            degraded_subsystems=[
+                int(s) for s in d.get("degraded_subsystems", [])
+            ],
         )

@@ -87,24 +87,42 @@ def _dse_worker_state(payload):
     )
 
 
+@dataclass(frozen=True)
+class _SolveFailure:
+    """Picklable stand-in result for a per-subsystem solve that raised
+    while ``degrade_on_failure`` was active."""
+
+    message: str
+
+
 def _dse_step1_task(args):
-    key, s, z1, x0, tol, octx = args
+    key, s, z1, x0, tol, octx, degrade = args
     dse = worker_context(key)
     rec = obs.remote_recorder(octx)
     t0 = time.perf_counter()
     with rec.span("dse.step1.subsystem", s=s):
-        res = dse._est1[s].estimate(tol=tol, x0=x0, z=z1)
+        try:
+            res = dse._est1[s].estimate(tol=tol, x0=x0, z=z1)
+        except Exception as exc:
+            if not degrade:
+                raise
+            res = _SolveFailure(repr(exc))
     return res, time.perf_counter() - t0, rec.export()
 
 
 def _dse_step2_task(args):
-    key, s, z2, x0_vm, x0_va, tol, octx = args
+    key, s, z2, x0_vm, x0_va, tol, octx, degrade = args
     dse = worker_context(key)
     est2 = dse._step2_cache[s][0]
     rec = obs.remote_recorder(octx)
     t0 = time.perf_counter()
     with rec.span("dse.step2.subsystem", s=s):
-        res = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+        try:
+            res = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+        except Exception as exc:
+            if not degrade:
+                raise
+            res = _SolveFailure(repr(exc))
     return res, time.perf_counter() - t0, rec.export()
 
 
@@ -121,6 +139,10 @@ class SubsystemRecord:
     step1_time: float = 0.0
     step2_times: list[float] = field(default_factory=list)
     bytes_sent_per_round: list[int] = field(default_factory=list)
+    #: a solve failed and the subsystem fell back to its prior state
+    #: (only possible with ``degrade_on_failure=True``)
+    degraded: bool = False
+    failures: list[str] = field(default_factory=list)
 
     @property
     def exchange_size(self) -> int:
@@ -137,6 +159,8 @@ class DseResult:
     rounds: int
     records: dict[int, SubsystemRecord]
     round_deltas: list[float]
+    #: sorted ids of subsystems whose solves fell back to prior state
+    degraded_subsystems: list[int] = field(default_factory=list)
 
     def state_error(self, Vm_true: np.ndarray, Va_true: np.ndarray) -> dict:
         """RMSE/max error against a reference state (same convention as
@@ -195,6 +219,14 @@ class DistributedStateEstimator:
         extended solution (external boundary values refreshed from the
         neighbours' latest publications) rather than from the Step-1
         publication alone.
+    degrade_on_failure:
+        Off by default (a failed solve raises, the seed behaviour).  When
+        on, a per-subsystem solve that raises falls back to the
+        subsystem's prior state — flat (or the caller's ``x0``) after a
+        Step-1 failure, the previous round's publication after a Step-2
+        failure — and the run completes with the subsystem listed in
+        ``DseResult.degraded_subsystems`` and the error text on its
+        :class:`SubsystemRecord`.
     """
 
     def __init__(
@@ -209,6 +241,7 @@ class DistributedStateEstimator:
         executor: SubsystemExecutor | str | int | None = None,
         reuse_structures: bool = True,
         warm_start: bool = True,
+        degrade_on_failure: bool = False,
     ):
         if update_scope not in ("exchange", "all"):
             raise ValueError("update_scope must be 'exchange' or 'all'")
@@ -220,6 +253,7 @@ class DistributedStateEstimator:
         self.executor = make_executor(executor)
         self.reuse_structures = reuse_structures
         self.warm_start = warm_start
+        self.degrade_on_failure = degrade_on_failure
         self.assignment = assign_measurements(dec, mset)
         self.exchange_sets = exchange_bus_sets(dec, threshold=sensitivity_threshold)
         self._worker_token: str | None = None
@@ -479,7 +513,10 @@ class DistributedStateEstimator:
                     local_x0 = None
                     if x0 is not None:
                         local_x0 = (x0[0][own].copy(), x0[1][own].copy())
-                    items1.append((ctx_key, s, z1, local_x0, tol, octx))
+                    items1.append(
+                        (ctx_key, s, z1, local_x0, tol, octx,
+                         self.degrade_on_failure)
+                    )
                 step1_out = self.executor.map(_dse_step1_task, items1)
             else:
                 def step1(s: int):
@@ -496,7 +533,12 @@ class DistributedStateEstimator:
                         if x0 is not None:
                             local_x0 = (x0[0][own].copy(), x0[1][own].copy())
                         z1 = self._step1_z(s, z) if z is not None else None
-                        res = est.estimate(tol=tol, x0=local_x0, z=z1)
+                        try:
+                            res = est.estimate(tol=tol, x0=local_x0, z=z1)
+                        except Exception as exc:
+                            if not self.degrade_on_failure:
+                                raise
+                            res = _SolveFailure(repr(exc))
                     return res, time.perf_counter() - t0, None
 
                 step1_out = self.executor.map(step1, range(dec.m))
@@ -506,6 +548,16 @@ class DistributedStateEstimator:
                     obs.adopt(wspans)
                 own = dec.buses(s)
                 records[s].step1_time = dt
+                if isinstance(res, _SolveFailure):
+                    # degraded: this subsystem publishes its prior state
+                    # (the caller's x0 when given, flat otherwise)
+                    records[s].degraded = True
+                    records[s].failures.append(f"step1: {res.message}")
+                    self._count_degraded_solve()
+                    if x0 is not None:
+                        Vm[own] = x0[0][own]
+                        Va[own] = x0[1][own]
+                    continue
                 records[s].step1_result = res
                 Vm[own] = res.Vm
                 Va[own] = res.Va
@@ -541,7 +593,7 @@ class DistributedStateEstimator:
             if use_process:
                 items2 = [
                     (ctx_key, s, inputs[s][0], inputs[s][1], inputs[s][2], tol,
-                     octx)
+                     octx, self.degrade_on_failure)
                     for s in range(dec.m)
                 ]
                 results = self.executor.map(_dse_step2_task, items2)
@@ -576,7 +628,12 @@ class DistributedStateEstimator:
                                 x0_va = published_va[xbuses]
 
                         t0 = time.perf_counter()
-                        res = est.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+                        try:
+                            res = est.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+                        except Exception as exc:
+                            if not self.degrade_on_failure:
+                                raise
+                            res = _SolveFailure(repr(exc))
                     return res, time.perf_counter() - t0, None
 
                 results = self.executor.map(step2, range(dec.m))
@@ -586,9 +643,21 @@ class DistributedStateEstimator:
                 if wspans:
                     obs.adopt(wspans)
                 _, bmap2, xbuses, ext, _ = self.sub2[s]
-                last2[s] = (res.Vm, res.Va)
                 rec = records[s]
                 rec.step2_times.append(dt)
+                if isinstance(res, _SolveFailure):
+                    # degraded: keep this subsystem's previous publication
+                    # for the round (neighbours keep converging around it)
+                    rec.degraded = True
+                    rec.failures.append(f"step2 round {rnd}: {res.message}")
+                    self._count_degraded_solve()
+                    rec.bytes_sent_per_round.append(
+                        rec.exchange_size
+                        * BYTES_PER_EXCHANGED_BUS
+                        * len(dec.neighbors(s))
+                    )
+                    continue
+                last2[s] = (res.Vm, res.Va)
                 rec.step2_results.append(res)
                 rec.bytes_sent_per_round.append(
                     rec.exchange_size
@@ -613,5 +682,14 @@ class DistributedStateEstimator:
 
         # ---- Final step: solutions already aggregated in (Vm, Va) ----
         return DseResult(
-            Vm=Vm, Va=Va, rounds=rounds, records=records, round_deltas=round_deltas
+            Vm=Vm, Va=Va, rounds=rounds, records=records,
+            round_deltas=round_deltas,
+            degraded_subsystems=sorted(
+                s for s, rec in records.items() if rec.degraded
+            ),
         )
+
+    @staticmethod
+    def _count_degraded_solve() -> None:
+        if obs.enabled():
+            obs.metrics().counter("dse.degraded_solves_total").inc()

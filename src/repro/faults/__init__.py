@@ -1,0 +1,95 @@
+"""repro.faults — system-wide deterministic fault injection.
+
+The fault-tolerance layer has two halves; this package is the first:
+a seeded, replayable chaos harness for the distributed estimation stack.
+The second half — the mechanisms that survive the chaos (typed
+middleware errors with retry/backoff, receive deadlines and degraded
+Step-2 rounds, supervised process pools, serving deadlines) — lives in
+the subsystems themselves and is exercised by the plans built here.
+
+Usage::
+
+    from repro import faults
+
+    plan = (faults.FaultPlan(seed=7)
+            .add("mux.forward", "drop", key=(1, 2), probability=0.5)
+            .add("worker", "kill", key=3, count=1))
+    with faults.injection(plan) as inj:
+        ...run the workload...
+    print(inj.fired_summary())     # exactly reproducible per seed
+
+Everything is **off by default**: with no injector installed every
+instrumented call site costs a single ``is None`` check (gated ≤ 5% on
+the live IEEE-118 frame by ``benchmarks/bench_fault_overhead.py``), and
+outputs are bit-identical to an uninstrumented build.
+
+Injection layers, actions and the determinism contract are documented in
+:mod:`repro.faults.plan` / :mod:`repro.faults.injector`, and the operator
+view (taxonomy, knobs, chaos-test recipe) in ``docs/faults.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from .injector import Decision, FaultInjector, NO_FAULT
+from .plan import ACTIONS, LAYERS, FaultPlan, FaultRule
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjector",
+    "Decision",
+    "NO_FAULT",
+    "LAYERS",
+    "ACTIONS",
+    "install",
+    "uninstall",
+    "active",
+    "injection",
+]
+
+#: the process-wide injector; ``None`` keeps every call site on its fast
+#: path (module attribute read + identity check, nothing else)
+_ACTIVE: FaultInjector | None = None
+
+
+def install(target: "FaultInjector | FaultPlan") -> FaultInjector:
+    """Install a fault injector (or a plan, wrapped on the fly) process-
+    wide; returns the injector.  Replaces any previous one."""
+    global _ACTIVE
+    if isinstance(target, FaultPlan):
+        target = FaultInjector(target)
+    _ACTIVE = target
+    return target
+
+
+def uninstall() -> None:
+    """Remove the installed injector (idempotent)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> FaultInjector | None:
+    """The installed injector, or ``None`` — the hot-path guard every
+    instrumented site calls."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def injection(target: "FaultInjector | FaultPlan"):
+    """Scoped installation::
+
+        with faults.injection(plan) as inj:
+            ...chaos...
+
+    Restores the previously installed injector (usually ``None``) on
+    exit, even when the workload raises.
+    """
+    global _ACTIVE
+    prev = _ACTIVE
+    inj = install(target)
+    try:
+        yield inj
+    finally:
+        _ACTIVE = prev

@@ -2,6 +2,16 @@
 
 from .client import DataBuffer, EndpointRegistry, MWClient
 from .endpoints import Endpoint, parse_endpoint
+from .errors import (
+    DEFAULT_RETRY,
+    ClientClosed,
+    ConnectFailed,
+    DeadlineExceeded,
+    MiddlewareError,
+    RecvTimeout,
+    RetryPolicy,
+    SendFailed,
+)
 from .fastpath import InprocMuxRouter, MuxRouter
 from .message import (
     MAX_FRAME,
@@ -31,6 +41,14 @@ from .transports import (
 __all__ = [
     "Endpoint",
     "parse_endpoint",
+    "MiddlewareError",
+    "ConnectFailed",
+    "SendFailed",
+    "RecvTimeout",
+    "ClientClosed",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "DEFAULT_RETRY",
     "FrameError",
     "PeerClosed",
     "MAX_FRAME",

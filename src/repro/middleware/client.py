@@ -29,27 +29,64 @@ import socket
 import threading
 import time
 
-from .. import obs
+from .. import faults, obs
+from .errors import (
+    ClientClosed,
+    ConnectFailed,
+    DeadlineExceeded,
+    MiddlewareError,
+    RecvTimeout,
+    RetryPolicy,
+    SendFailed,
+)
+from .errors import DEFAULT_RETRY
 from .message import FrameError, PeerClosed, StreamReader
 from .transports import InprocTransport, transport_for
 
 __all__ = ["DataBuffer", "EndpointRegistry", "MWClient"]
 
+#: queue sentinel: buffer closed (latched so every blocked reader wakes)
+_CLOSED = object()
+
 
 class DataBuffer:
-    """The local data buffer of the architecture's interface layer."""
+    """The local data buffer of the architecture's interface layer.
+
+    Shutdown-aware: :meth:`close` wakes every blocked :meth:`get` with
+    :class:`~repro.middleware.errors.ClientClosed` instead of leaving it
+    to hang until its timeout.  Payloads enqueued before the close are
+    still drained first (FIFO), so a closing client loses no data that
+    already arrived.
+    """
 
     def __init__(self):
         self._q: "queue.Queue[bytes]" = queue.Queue()
+        self._closed = False
 
     def put(self, payload: bytes) -> None:
         self._q.put(payload)
 
     def get(self, timeout: float | None = None) -> bytes:
         try:
-            return self._q.get(timeout=timeout)
+            item = self._q.get(timeout=timeout)
         except queue.Empty as exc:
-            raise TimeoutError("data buffer empty") from exc
+            if self._closed:
+                raise ClientClosed("data buffer closed") from None
+            raise RecvTimeout("data buffer empty") from exc
+        if item is _CLOSED:
+            self._q.put(_CLOSED)  # latch for any other blocked reader
+            raise ClientClosed("data buffer closed")
+        return item
+
+    def close(self) -> None:
+        """Mark closed and wake every blocked reader (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._q.put(_CLOSED)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __len__(self) -> int:
         return self._q.qsize()
@@ -95,6 +132,19 @@ class MWClient:
     pool_idle_timeout:
         Close pooled connections unused for this many seconds (reaped
         opportunistically on the next send).
+    retry:
+        :class:`~repro.middleware.errors.RetryPolicy` for pooled sends.
+        Any failure mid-send discards the connection unconditionally (a
+        partial write leaves the stream unframeable — reuse would corrupt
+        every later message) and retries on a fresh dial with backoff;
+        once the budget is spent the caller sees a single typed
+        :class:`~repro.middleware.errors.SendFailed`.  ``None`` disables
+        retries (one attempt, typed error on failure).
+    send_deadline:
+        Overall wall-clock budget per ``send``/``send_many`` call across
+        all retries, in seconds (``None`` = unbounded).  Exceeding it
+        raises :class:`~repro.middleware.errors.SendFailed` (from a
+        :class:`~repro.middleware.errors.DeadlineExceeded`).
     """
 
     def __init__(
@@ -105,12 +155,17 @@ class MWClient:
         inproc: InprocTransport | None = None,
         pool: bool = True,
         pool_idle_timeout: float = 30.0,
+        retry: RetryPolicy | None = DEFAULT_RETRY,
+        send_deadline: float | None = None,
     ):
         self.name = name
         self.registry = registry
         self.inproc = inproc
         self.pool = pool
         self.pool_idle_timeout = pool_idle_timeout
+        self.retry = retry
+        self.send_deadline = send_deadline
+        self.retries = 0
         self.buffer = DataBuffer()
         self._listener = None
         self._thread: threading.Thread | None = None
@@ -232,9 +287,24 @@ class MWClient:
     # send side: persistent pooled connections
     # ------------------------------------------------------------------
     def _dial(self, url: str):
+        inj = faults.active()
+        if inj is not None:
+            d = inj.decide("client.dial", url)
+            if d:
+                if d.action == "delay":
+                    if d.delay:
+                        time.sleep(d.delay)
+                else:  # "fail"
+                    self.dials += 1
+                    raise ConnectFailed(f"fault injection: dial to {url} failed")
         transport = transport_for(url, inproc=self.inproc)
         self.dials += 1
-        return transport.connect(url)
+        try:
+            return transport.connect(url)
+        except ConnectFailed:
+            raise
+        except (ConnectionError, OSError) as exc:  # pragma: no cover - defensive
+            raise ConnectFailed(f"cannot connect to {url}: {exc}") from exc
 
     def _checkout(self, url: str):
         """Pooled connection for ``url``: lazy dial + idle reaping."""
@@ -262,20 +332,54 @@ class MWClient:
         conn.close()
 
     def _send_pooled(self, url: str, op) -> None:
-        conn = self._checkout(url)
-        try:
-            op(conn)
-        except (ConnectionError, OSError, RuntimeError) as exc:
-            if isinstance(exc, FrameError):
-                raise  # framing errors are not connection failures
-            # stale pooled connection (peer restarted / idle-closed):
-            # drop it and retry once on a fresh dial
-            self._discard(url, conn)
-            with self._pool_lock:
-                conn = self._dial(url)
-                self._pool[url] = conn
-                self._pool_last[url] = time.monotonic()
-            op(conn)
+        """Run ``op`` on a pooled connection under the retry policy.
+
+        Partial-write safety: *any* failure mid-``op`` discards the
+        connection unconditionally — after an interrupted write the
+        stream position is unknown and reuse would corrupt every later
+        frame — so each retry always runs on a fresh dial.
+        """
+        policy = self.retry
+        attempts = policy.max_attempts if policy is not None else 1
+        deadline = (
+            None
+            if self.send_deadline is None
+            else time.monotonic() + self.send_deadline
+        )
+        last: BaseException | None = None
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                self.retries += 1
+                if obs.enabled():
+                    obs.metrics().counter("mw.client.retries_total").inc()
+            try:
+                conn = self._checkout(url)
+            except (ConnectionError, OSError, MiddlewareError) as exc:
+                last = exc
+            else:
+                try:
+                    op(conn)
+                    return
+                except (ConnectionError, OSError, RuntimeError) as exc:
+                    if isinstance(exc, FrameError):
+                        raise  # framing errors are not connection failures
+                    # stale pool entry, peer restart, or a mid-write
+                    # failure: the connection is unusable either way
+                    self._discard(url, conn)
+                    last = exc
+            if attempt < attempts and policy is not None:
+                try:
+                    policy.sleep(attempt, deadline=deadline)
+                except DeadlineExceeded as exc:
+                    raise SendFailed(
+                        f"send to {url} abandoned at the deadline "
+                        f"after {attempt} attempt(s): {last!r}"
+                    ) from exc
+        if isinstance(last, ConnectFailed):
+            raise last  # dial never succeeded; keep ConnectionRefusedError
+        raise SendFailed(
+            f"send to {url} failed after {attempts} attempt(s): {last!r}"
+        ) from last
 
     def send(self, destination: str, payload: bytes) -> None:
         """``MW_Client_Send``: deliver ``payload`` toward ``destination``.
@@ -319,11 +423,19 @@ class MWClient:
             reg.counter("mw.client.bytes_sent_total").inc(nbytes)
 
     def recv(self, timeout: float | None = 5.0) -> bytes:
-        """``MW_Client_Recv``: take the next payload from the local buffer."""
+        """``MW_Client_Recv``: take the next payload from the local buffer.
+
+        Raises :class:`~repro.middleware.errors.RecvTimeout` (a
+        ``TimeoutError``) when nothing arrives in time, and
+        :class:`~repro.middleware.errors.ClientClosed` once the client is
+        closed — a shutdown wakes blocked receivers immediately instead
+        of letting them sit out the timeout.
+        """
         return self.buffer.get(timeout=timeout)
 
     def close(self) -> None:
         self._stop.set()
+        self.buffer.close()  # wake anyone blocked in recv
         with self._pool_lock:
             for conn in self._pool.values():
                 conn.close()

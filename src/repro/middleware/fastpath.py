@@ -30,10 +30,12 @@ import queue
 import selectors
 import socket
 import threading
+import time
 
-from .. import obs
+from .. import faults, obs
 from ..obs import SpanContext
 from .endpoints import parse_endpoint
+from .errors import SendFailed
 from .message import (
     FLAG_CONTROL,
     FLAG_TRACED,
@@ -71,6 +73,43 @@ def _hop_span(flags: int, payload, src: int, dst: int):
     )
 
 
+#: sentinel from :func:`_forward_fault`: swallow the frame entirely
+_DROP = object()
+#: sentinel from :func:`_forward_fault`: hard-disconnect the destination
+_KILL_DST = object()
+
+
+def _forward_fault(src: int, dst: int, payload):
+    """Mux-hop fault hook shared by both hubs.
+
+    Returns ``(payloads, verdict)`` where ``payloads`` is the tuple of
+    payloads to forward (empty on drop, two copies on duplicate, a
+    truncated frame on corrupt — the header is re-packed so the framing
+    stays valid and only the application decode fails) and ``verdict`` is
+    ``None``, :data:`_DROP` or :data:`_KILL_DST`.  A ``delay`` sleeps
+    *in the hub loop* — intentionally: the hub is the store-and-forward
+    stage, so hub latency is what a slow link looks like to every site.
+    """
+    inj = faults.active()
+    if inj is None:
+        return (payload,), None
+    d = inj.decide("mux.forward", (src, dst))
+    if not d:
+        return (payload,), None
+    if d.action == "drop":
+        return (), _DROP
+    if d.action == "delay":
+        if d.delay:
+            time.sleep(d.delay)
+        return (payload,), None
+    if d.action == "duplicate":
+        return (payload, payload), None
+    if d.action == "corrupt":
+        return (payload[: len(payload) // 2],), None
+    # "disconnect"
+    return (), _KILL_DST
+
+
 class _TcpMuxLink:
     """A site's single duplex connection to the TCP hub."""
 
@@ -95,18 +134,28 @@ class _TcpMuxLink:
                 continue
             if flags & FLAG_TRACED:
                 # metadata prefix is for the routing layer, not the app
-                payload = strip_trace_context(payload)
+                try:
+                    payload = strip_trace_context(payload)
+                except FrameError:
+                    # corrupted-in-flight frame: drop it, keep the link
+                    continue
             self._deliver(payload)
 
     def send(self, dst: int, payload, *, flags: int = 0) -> None:
-        with self._send_lock:
-            send_mux_frame(self._sock, self.my_id, dst, payload, flags=flags)
+        try:
+            with self._send_lock:
+                send_mux_frame(self._sock, self.my_id, dst, payload, flags=flags)
+        except OSError as exc:
+            raise SendFailed(f"mux link {self.my_id} -> {dst}: {exc}") from exc
 
     def send_many(self, frames, *, flags: int = 0) -> None:
         """``frames`` is an iterable of ``(dst, payload)``; all of them
         ride one scatter-gather syscall."""
-        with self._send_lock:
-            send_mux_frames(self._sock, self.my_id, frames, flags=flags)
+        try:
+            with self._send_lock:
+                send_mux_frames(self._sock, self.my_id, frames, flags=flags)
+        except OSError as exc:
+            raise SendFailed(f"mux link {self.my_id} batch send: {exc}") from exc
 
     def close(self) -> None:
         if self._closed:
@@ -248,16 +297,32 @@ class MuxRouter:
                 if obs.enabled():
                     obs.metrics().counter("mux.frames_dropped_total").inc()
                 continue
-            header = MUX_HEADER.pack(MUX_VERSION, flags, src, dst, len(payload))
+            if faults.active() is not None:
+                outs, verdict = _forward_fault(src, dst, payload)
+                if verdict is _KILL_DST:
+                    self._drop_conn(out)
+                if verdict is not None:  # frame swallowed either way
+                    with self._stats_lock:
+                        self.frames_dropped += 1
+                    continue
+            else:
+                outs = (payload,)
             hop = _hop_span(flags, payload, src, dst)
-            try:
-                if hop is not None:
-                    with hop:
-                        sendmsg_all(out, [header, payload])
-                else:
-                    sendmsg_all(out, [header, payload])
-            except OSError:
-                self._drop_conn(out)
+            failed = False
+            for p in outs:
+                header = MUX_HEADER.pack(MUX_VERSION, flags, src, dst, len(p))
+                try:
+                    if hop is not None:
+                        with hop:
+                            sendmsg_all(out, [header, p])
+                        hop = None  # span covers the first copy only
+                    else:
+                        sendmsg_all(out, [header, p])
+                except OSError:
+                    self._drop_conn(out)
+                    failed = True
+                    break
+            if failed:
                 continue
             with self._stats_lock:
                 rec = self._stats.setdefault((src, dst), [0, 0])
@@ -303,12 +368,12 @@ class _InprocMuxLink:
 
     def send(self, dst: int, payload, *, flags: int = 0) -> None:
         if self._closed:
-            raise RuntimeError("link closed")
+            raise SendFailed(f"mux link {self.my_id} closed")
         self._router._inbox.put((self.my_id, dst, payload, flags))
 
     def send_many(self, frames, *, flags: int = 0) -> None:
         if self._closed:
-            raise RuntimeError("link closed")
+            raise SendFailed(f"mux link {self.my_id} closed")
         inbox = self._router._inbox
         for dst, payload in frames:
             inbox.put((self.my_id, dst, payload, flags))
@@ -332,6 +397,9 @@ class InprocMuxRouter:
         self._stats_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self.frames_dropped = 0
+        # ids hard-disconnected by fault injection: symmetric with the TCP
+        # hub, where the closed socket kills both directions
+        self._dead: set[int] = set()
 
     def start(self, url: str | None = None) -> str:
         self._thread = threading.Thread(
@@ -352,6 +420,10 @@ class InprocMuxRouter:
             if item is _STOP:
                 return
             src, dst, payload, flags = item
+            if self._dead and (src in self._dead or dst in self._dead):
+                with self._stats_lock:
+                    self.frames_dropped += 1
+                continue
             deliver = self._deliver.get(dst)
             if deliver is None:
                 with self._stats_lock:
@@ -360,14 +432,34 @@ class InprocMuxRouter:
                     obs.metrics().counter("mux.frames_dropped_total").inc()
                 continue
             nbytes = len(payload)
-            hop = _hop_span(flags, payload, src, dst)
-            if flags & FLAG_TRACED:
-                payload = strip_trace_context(payload)
-            if hop is not None:
-                with hop:
-                    deliver(payload)
+            if faults.active() is not None:
+                copies, verdict = _forward_fault(src, dst, payload)
+                if verdict is _KILL_DST:
+                    # hard-disconnect: the site stops receiving anything,
+                    # and its own frames stop routing (socket-death parity)
+                    self._deliver.pop(dst, None)
+                    self._dead.add(dst)
+                if verdict is not None:
+                    with self._stats_lock:
+                        self.frames_dropped += 1
+                    continue
             else:
-                deliver(payload)
+                copies = (payload,)
+            hop = _hop_span(flags, payload, src, dst)
+            delivered = []
+            for p in copies:
+                if flags & FLAG_TRACED:
+                    try:
+                        p = strip_trace_context(p)
+                    except FrameError:
+                        continue  # corrupted-in-flight frame
+                delivered.append(p)
+            for i, p in enumerate(delivered):
+                if hop is not None and i == 0:
+                    with hop:
+                        deliver(p)
+                else:
+                    deliver(p)
             with self._stats_lock:
                 rec = self._stats.setdefault((src, dst), [0, 0])
                 rec[0] += 1

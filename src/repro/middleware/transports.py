@@ -24,8 +24,11 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+import time
 
+from .. import faults
 from .endpoints import Endpoint, parse_endpoint
+from .errors import ConnectFailed
 from .message import FrameError, recv_frame, send_frame, send_frames
 
 __all__ = [
@@ -53,8 +56,44 @@ def _size_socket_buffers(sock: socket.socket) -> None:
         pass
 
 
+def _faulted_payloads(key, payload):
+    """Fault-injection hook shared by every connection's send path.
+
+    Returns the tuple of payloads to actually put on the wire — usually
+    ``(payload,)`` untouched; a ``drop`` returns ``()``, a ``duplicate``
+    two copies, a ``corrupt`` a truncated frame (framing stays valid, the
+    application decode fails), and a ``disconnect`` raises so the caller
+    sees a dead connection.  Costs one ``is None`` check when no injector
+    is installed; connections without a fault key (accept-side) are never
+    faulted.
+    """
+    inj = faults.active()
+    if inj is None or key is None:
+        return (payload,)
+    d = inj.decide("transport.send", key)
+    if not d:
+        return (payload,)
+    if d.action == "drop":
+        return ()
+    if d.action == "delay":
+        if d.delay:
+            time.sleep(d.delay)
+        return (payload,)
+    if d.action == "duplicate":
+        return (payload, payload)
+    if d.action == "corrupt":
+        return (payload[: len(payload) // 2],)
+    # "disconnect": the connection dies under the sender
+    raise ConnectionResetError(f"fault injection: hard disconnect toward {key}")
+
+
 class Connection:
     """Abstract duplex framed connection."""
+
+    #: destination URL for outbound (dialled) connections — the key the
+    #: fault injector matches ``transport.send`` events against; ``None``
+    #: on accept-side connections
+    fault_key: str | None = None
 
     def send_bytes(self, payload: bytes) -> None:  # pragma: no cover
         raise NotImplementedError
@@ -108,10 +147,20 @@ class _TcpConnection(Connection):
         return self._sock.fileno()
 
     def send_bytes(self, payload: bytes) -> None:
+        if faults.active() is not None:
+            for p in _faulted_payloads(self.fault_key, payload):
+                with self._send_lock:
+                    send_frame(self._sock, p)
+            return
         with self._send_lock:
             send_frame(self._sock, payload)
 
     def send_many(self, payloads) -> None:
+        if faults.active() is not None:
+            # per-frame fault decisions; coalescing is irrelevant under chaos
+            for payload in payloads:
+                self.send_bytes(payload)
+            return
         with self._send_lock:
             send_frames(self._sock, payloads)
 
@@ -182,9 +231,14 @@ class TcpTransport:
         ep = parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
         if ep.scheme != "tcp":
             raise ValueError(f"TcpTransport cannot connect to {ep.url}")
-        sock = socket.create_connection((ep.host, ep.port), timeout=timeout)
+        try:
+            sock = socket.create_connection((ep.host, ep.port), timeout=timeout)
+        except OSError as exc:
+            raise ConnectFailed(f"cannot connect to {ep.url}: {exc}") from exc
         sock.settimeout(None)
-        return _TcpConnection(sock)
+        conn = _TcpConnection(sock)
+        conn.fault_key = ep.url
+        return conn
 
 
 # ----------------------------------------------------------------------
@@ -204,6 +258,10 @@ class _InprocConnection(Connection):
     def send_bytes(self, payload: bytes) -> None:
         if self._closed:
             raise RuntimeError("connection closed")
+        if faults.active() is not None:
+            for p in _faulted_payloads(self.fault_key, payload):
+                self._out.put(p)
+            return
         self._out.put(payload)
 
     def recv_bytes(self, timeout: float | None = None) -> bytes:
@@ -271,10 +329,11 @@ class InprocTransport:
         with self._lock:
             listener = self._listeners.get(ep.host)
         if listener is None:
-            raise ConnectionRefusedError(f"no listener at {ep.url}")
+            raise ConnectFailed(f"no listener at {ep.url}")
         a_to_b: "queue.Queue[bytes]" = queue.Queue()
         b_to_a: "queue.Queue[bytes]" = queue.Queue()
         client = _InprocConnection(a_to_b, b_to_a)
+        client.fault_key = ep.url
         server = _InprocConnection(b_to_a, a_to_b)
         listener._pending.put(server)
         return client

@@ -39,12 +39,14 @@ import itertools
 import os
 import pickle
 import threading
+import time
 import traceback
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence
 
-from . import obs
+from . import faults, obs
 from .obs import use_context
 
 __all__ = [
@@ -53,6 +55,7 @@ __all__ = [
     "ThreadPoolBackend",
     "ProcessPoolBackend",
     "WorkerError",
+    "WorkerCrash",
     "worker_context",
     "make_executor",
     "chunked",
@@ -77,6 +80,12 @@ class WorkerError(Exception):
 
     def __str__(self) -> str:
         return f"worker-side traceback:\n{self.args[0]}"
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died or hung and the task could not be completed
+    within the supervisor's retry budget (see
+    :class:`ProcessPoolBackend`)."""
 
 
 class SubsystemExecutor(ABC):
@@ -254,6 +263,20 @@ def _invoke_remote(fn: Callable, item):
         return False, (exc, tb), os.getpid()
 
 
+def _invoke_remote_faulted(fn: Callable, item, mode: str | None, delay: float):
+    """Worker-side wrapper used when a fault injector is installed in the
+    parent.  The parent decides the fault (workers are separate processes
+    and never see the injector) and ships it with the task: ``kill`` dies
+    hard mid-task (``os._exit``, no cleanup — exactly what an OOM kill or
+    segfault looks like to the pool), ``hang`` wedges the worker so only
+    the supervisor's ``task_timeout`` can reclaim it."""
+    if mode == "kill":
+        os._exit(86)
+    elif mode == "hang":
+        time.sleep(delay if delay > 0 else 3600.0)
+    return _invoke_remote(fn, item)
+
+
 class ProcessPoolBackend(SubsystemExecutor):
     """Persistent worker processes with warm, worker-resident state.
 
@@ -264,6 +287,17 @@ class ProcessPoolBackend(SubsystemExecutor):
     start_method:
         ``multiprocessing`` start method; defaults to ``"fork"`` where
         available (cheap spawn, copy-on-write) and ``"spawn"`` otherwise.
+    max_task_retries:
+        The supervisor re-runs tasks stranded by a dead or hung worker on
+        a freshly respawned warm pool; each task may be re-run at most
+        this many times before :class:`WorkerCrash` is raised.  Ordinary
+        task exceptions are *not* retried — they re-raise immediately, as
+        before.
+    task_timeout:
+        Per-task deadline in seconds while draining results.  ``None``
+        (default) waits forever — the legacy behaviour; set it to detect
+        *hung* workers (a crash is detected immediately either way), which
+        are terminated and their tasks re-run.
 
     Usage shape::
 
@@ -285,11 +319,20 @@ class ProcessPoolBackend(SubsystemExecutor):
 
     distributed = True
 
-    def __init__(self, n_workers: int | None = None, *, start_method: str | None = None):
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        start_method: str | None = None,
+        max_task_retries: int = 2,
+        task_timeout: float | None = None,
+    ):
         if n_workers is None:
             n_workers = min(8, os.cpu_count() or 1)
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
         self.n_workers = int(n_workers)
         if start_method is None:
             import multiprocessing as mp
@@ -297,6 +340,9 @@ class ProcessPoolBackend(SubsystemExecutor):
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self.start_method = start_method
+        self.max_task_retries = int(max_task_retries)
+        self.task_timeout = task_timeout
+        self.respawns = 0  # pool respawns forced by dead/hung workers
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._contexts: dict[str, tuple[Callable, object]] = {}
@@ -349,22 +395,98 @@ class ProcessPoolBackend(SubsystemExecutor):
     def map_with_pids(self, fn: Callable, items: Iterable) -> tuple[list, list[int]]:
         """Like :meth:`map`, also returning the worker pid per task —
         callers that keep per-worker accounting (busy time, case counts)
-        densify the pids themselves."""
-        pool = self._ensure_pool()
-        futures = [pool.submit(_invoke_remote, fn, item) for item in items]
-        results, pids = [], []
-        for fut in futures:
-            ok, value, pid = fut.result()
-            if not ok:
-                exc, tb = value
-                raise exc from WorkerError(tb)
-            results.append(value)
-            pids.append(pid)
+        densify the pids themselves.
+
+        Supervised: a worker that dies mid-batch (``BrokenProcessPool``)
+        or hangs past ``task_timeout`` is reclaimed — the pool is respawned
+        warm (the registered contexts rebuild in the new workers) and the
+        stranded tasks re-run, up to ``max_task_retries`` times each.
+        Task payloads are compact by contract, so re-running them is cheap.
+        """
+        items = list(items)
+        n = len(items)
+        results: list = [None] * n
+        pids: list[int] = [0] * n
+        runs = [0] * n
+        pending = list(range(n))
+        while pending:
+            pool = self._ensure_pool()
+            inj = faults.active()
+            futures: dict[int, object] = {}
+            try:
+                for i in pending:
+                    runs[i] += 1
+                    if inj is None:
+                        futures[i] = pool.submit(_invoke_remote, fn, items[i])
+                    else:
+                        d = inj.decide("worker", i)
+                        futures[i] = pool.submit(
+                            _invoke_remote_faulted, fn, items[i],
+                            d.action if d else None, d.delay,
+                        )
+            except BrokenProcessPool:
+                pass  # drain whatever was submitted; the rest re-runs
+            stranded: list[int] = []
+            hung = False
+            for i in pending:
+                fut = futures.get(i)
+                if fut is None:
+                    stranded.append(i)
+                    continue
+                try:
+                    ok, value, pid = fut.result(timeout=self.task_timeout)
+                except BrokenProcessPool:
+                    stranded.append(i)
+                    continue
+                except TimeoutError:
+                    stranded.append(i)
+                    hung = True
+                    continue
+                if not ok:
+                    exc, tb = value
+                    raise exc from WorkerError(tb)
+                results[i] = value
+                pids[i] = pid
+            if not stranded:
+                break
+            over = [i for i in stranded if runs[i] > self.max_task_retries]
+            if over:
+                self._kill_pool()
+                raise WorkerCrash(
+                    f"task(s) {over} still stranded by "
+                    f"{'hung' if hung else 'dead'} workers after "
+                    f"{self.max_task_retries} retr"
+                    f"{'y' if self.max_task_retries == 1 else 'ies'}"
+                )
+            # reclaim the broken pool (terminating hung workers) and
+            # respawn warm for the re-run
+            self._kill_pool()
+            self.respawns += 1
+            if obs.enabled():
+                m = obs.metrics()
+                m.counter("executor.pool_respawns_total").inc()
+                m.counter("executor.task_reruns_total").inc(len(stranded))
+            pending = stranded
         if obs.enabled():
             obs.metrics().counter(
                 "executor.tasks_total", backend="processes"
-            ).inc(len(results))
+            ).inc(n)
         return results, pids
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down without waiting on its workers: terminate
+        them first (a hung worker never honours a graceful shutdown)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._installed = set()
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already reaped
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def shutdown(self) -> None:
         with self._pool_lock:

@@ -56,11 +56,12 @@ def format_table(
 
 _FRAME_HEADERS = (
     "t", "noise x", "Ni", "imb1", "imb2", "migrated",
-    "rounds", "bytes", "sim total (ms)", "wall (ms)", "Vm RMSE",
+    "rounds", "bytes", "sim total (ms)", "wall (ms)", "Vm RMSE", "degraded",
 )
 
 
 def _frame_row(rep) -> list:
+    degraded = getattr(rep, "degraded_subsystems", None) or []
     return [
         rep.t,
         rep.noise_level,
@@ -73,6 +74,7 @@ def _frame_row(rep) -> list:
         rep.timings.total * 1e3,
         rep.wall_time * 1e3,
         rep.vm_rmse_vs_truth if rep.vm_rmse_vs_truth is not None else "-",
+        ",".join(str(int(s)) for s in degraded) if degraded else "-",
     ]
 
 

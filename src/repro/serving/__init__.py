@@ -6,6 +6,7 @@ from .requests import (
     EstimationRequest,
     ScenarioRequest,
     ScenarioResult,
+    ServiceOverloaded,
     ServiceStats,
 )
 from .service import ScenarioService
@@ -16,5 +17,6 @@ __all__ = [
     "ScenarioRequest",
     "ScenarioResult",
     "ScenarioService",
+    "ServiceOverloaded",
     "ServiceStats",
 ]

@@ -28,7 +28,13 @@ __all__ = [
     "ScenarioRequest",
     "ScenarioResult",
     "ServiceStats",
+    "ServiceOverloaded",
 ]
+
+
+class ServiceOverloaded(RuntimeError):
+    """The service shed the request at admission: its queue is at
+    ``max_queue`` and accepting more would only grow latency unboundedly."""
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,8 @@ class ServiceStats:
 
     n_requests: int = 0
     n_batches: int = 0
+    #: requests shed before execution (queue overload or deadline expiry)
+    n_shed: int = 0
     batch_sizes: list[int] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
     _lock: threading.Lock = field(
@@ -92,6 +100,10 @@ class ServiceStats:
         with self._lock:
             self.n_batches += 1
             self.batch_sizes.append(int(size))
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.n_shed += 1
 
     @property
     def mean_batch_size(self) -> float:

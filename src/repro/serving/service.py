@@ -37,11 +37,13 @@ from ..contingency.screening import Contingency
 from ..dse.algorithm import DistributedStateEstimator
 from ..dse.decomposition import Decomposition
 from ..measurements.types import MeasurementSet
+from ..middleware.errors import DeadlineExceeded
 from ..parallel import SubsystemExecutor, make_executor
 from .requests import (
     ContingencyRequest,
     EstimationRequest,
     ScenarioResult,
+    ServiceOverloaded,
     ServiceStats,
 )
 
@@ -81,6 +83,17 @@ class ScenarioService:
     fast:
         Forwarded to the live engine: multiplexed fast-path fabric
         (default) vs legacy per-pair pipelines.
+    request_timeout:
+        Per-request deadline in seconds, measured from ``submit``.  A
+        request still queued when its deadline passes is shed at dispatch
+        time: its future fails with
+        :class:`~repro.middleware.errors.DeadlineExceeded` and the solve is
+        skipped.  ``None`` (default) disables deadlines.
+    max_queue:
+        Admission bound on the backlog.  ``submit`` sheds new requests with
+        :class:`~repro.serving.requests.ServiceOverloaded` (the returned
+        future is already failed) once this many are queued.  ``None``
+        (default) accepts unboundedly.
     """
 
     def __init__(
@@ -100,6 +113,8 @@ class ScenarioService:
         tol: float = 1e-8,
         use_tcp: bool = False,
         fast: bool = True,
+        request_timeout: float | None = None,
+        max_queue: int | None = None,
     ):
         if engine not in ("dse", "live"):
             raise ValueError("engine must be 'dse' or 'live'")
@@ -107,11 +122,17 @@ class ScenarioService:
             raise ValueError("max_batch must be >= 1")
         if flush_latency < 0:
             raise ValueError("flush_latency must be >= 0")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None)")
         self._own_executor = not isinstance(executor, SubsystemExecutor)
         self.executor = make_executor(executor)
         self.engine = engine
         self.max_batch = int(max_batch)
         self.flush_latency = float(flush_latency)
+        self.request_timeout = request_timeout
+        self.max_queue = max_queue
         self.rounds = rounds
         self.tol = tol
 
@@ -160,6 +181,11 @@ class ScenarioService:
             raise RuntimeError("ScenarioService is closed")
         self._ensure_dispatcher()
         fut: Future = Future()
+        if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
+            self._shed(fut, ServiceOverloaded(
+                f"backlog at max_queue={self.max_queue}; request shed"
+            ), reason="overload")
+            return fut
         self._queue.put((request, fut, time.perf_counter()))
         return fut
 
@@ -231,7 +257,31 @@ class ScenarioService:
             if stop:
                 return
 
+    def _shed(self, fut: Future, exc: Exception, *, reason: str) -> None:
+        self.stats.record_shed()
+        if obs.enabled():
+            obs.metrics().counter(
+                "serving.shed_total", reason=reason
+            ).inc()
+        if not fut.done():
+            fut.set_exception(exc)
+
     def _execute_batch(self, batch: list) -> None:
+        if self.request_timeout is not None:
+            now = time.perf_counter()
+            fresh = []
+            for it in batch:
+                age = now - it[2]
+                if age > self.request_timeout:
+                    self._shed(it[1], DeadlineExceeded(
+                        f"request spent {age:.3f}s queued, past its "
+                        f"{self.request_timeout:.3f}s deadline"
+                    ), reason="deadline")
+                else:
+                    fresh.append(it)
+            batch = fresh
+            if not batch:
+                return
         size = len(batch)
         cons = [it for it in batch if isinstance(it[0], ContingencyRequest)]
         ests = [it for it in batch if isinstance(it[0], EstimationRequest)]

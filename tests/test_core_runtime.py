@@ -92,6 +92,39 @@ class TestLiveRuntime:
         live = LiveDseRuntime(dec, ms).run()
         assert live.wall_time > 0
 
+    def test_empty_fault_plan_keeps_bitwise_parity(self, live_setup):
+        """An installed injector with no rules leaves both data planes
+        bit-identical — the hooks are consulted but never fire."""
+        from repro import faults
+        from repro.faults import FaultPlan
+
+        dec, ms, ref = live_setup
+        with faults.injection(FaultPlan(seed=7)) as inj:
+            fast = LiveDseRuntime(dec, ms, fast=True).run()
+            legacy = LiveDseRuntime(dec, ms, fast=False).run()
+        assert inj.total_fired() == 0
+        for live in (fast, legacy):
+            assert live.errors == []
+            assert live.degraded == {}
+            assert live.degraded_subsystems == []
+            assert np.array_equal(live.Vm, ref.Vm)
+            assert np.array_equal(live.Va, ref.Va)
+
+    def test_starved_site_runs_degraded_round(self, live_setup):
+        """Dropping every update bound for one site starves it for the
+        round; it keeps solving on last-known values and flags the round."""
+        from repro import faults
+        from repro.faults import FaultPlan
+
+        dec, ms, _ = live_setup
+        plan = FaultPlan(seed=0).add("mux.forward", "drop", key=(None, 0))
+        live = LiveDseRuntime(dec, ms, fast=True, recv_timeout=0.3)
+        with faults.injection(plan):
+            res = live.run(rounds=1)
+        assert res.degraded == {0: [0]}
+        assert res.sites[0].degraded_rounds == [0]
+        assert res.errors
+
     def test_small_synthetic_grid(self):
         net = synthetic_grid(n_areas=3, buses_per_area=10, seed=4)
         pf = run_ac_power_flow(net, flat_start=True)

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.dse import decompose, distributed_bad_data, dse_pmu_placement
+from repro.dse import (
+    DistributedStateEstimator,
+    decompose,
+    distributed_bad_data,
+    dse_pmu_placement,
+)
 from repro.estimation import estimate_state, is_observable
 from repro.grid import run_ac_power_flow
 from repro.measurements import (
@@ -123,6 +128,36 @@ class TestFailureInjection:
         sub, rows = drop_region(net118, ms, dec.buses(0))
         assert len(rows) > 0
         assert not is_observable(net118, sub)
+
+    def test_drop_region_dse_degrades_instead_of_crashing(
+        self, bd_setup, net118
+    ):
+        """Losing the telemetry of subsystem 0's internal buses makes its
+        local Step-1 problem unobservable; with ``degrade_on_failure`` the
+        distributed run completes with that subsystem flagged instead of
+        aborting the whole frame."""
+        dec, ms = bd_setup
+        internal = np.setdiff1d(dec.buses(0), dec.boundary_buses(0))
+        sub, rows = drop_region(net118, ms, internal)
+        assert len(rows) > 0
+        dse = DistributedStateEstimator(
+            dec, sub, auto_anchor=False, degrade_on_failure=True
+        )
+        res = dse.run()
+        assert 0 in res.degraded_subsystems
+        assert res.records[0].failures
+        # degraded sites fall back to prior state: everything stays finite
+        assert np.all(np.isfinite(res.Vm)) and np.all(np.isfinite(res.Va))
+
+    def test_drop_region_dse_raises_without_degrade_flag(
+        self, bd_setup, net118
+    ):
+        dec, ms = bd_setup
+        internal = np.setdiff1d(dec.buses(0), dec.boundary_buses(0))
+        sub, _ = drop_region(net118, ms, internal)
+        dse = DistributedStateEstimator(dec, sub, auto_anchor=False)
+        with pytest.raises(Exception):
+            dse.run()
 
     def test_random_dropout_protect_list(self, net118, pf118):
         rng = np.random.default_rng(3)

@@ -165,6 +165,26 @@ class TestDseParity:
         assert np.array_equal(serial.Vm, threaded.Vm)
         assert np.array_equal(serial.Va, threaded.Va)
 
+    def test_empty_fault_plan_keeps_bitwise_parity(self, dse118):
+        """With an injector installed but no rules firing, the DSE stays
+        bit-identical across executors — the off-by-default guarantee."""
+        from repro import faults
+        from repro.faults import FaultPlan
+
+        dec, ms = dse118
+        ref = DistributedStateEstimator(dec, ms).run()
+        with faults.injection(FaultPlan(seed=99)) as inj:
+            serial = DistributedStateEstimator(dec, ms).run()
+            with ThreadPoolBackend(4) as pool:
+                threaded = DistributedStateEstimator(
+                    dec, ms, executor=pool
+                ).run()
+        assert inj.total_fired() == 0
+        for got in (serial, threaded):
+            assert got.degraded_subsystems == []
+            assert np.array_equal(got.Vm, ref.Vm)
+            assert np.array_equal(got.Va, ref.Va)
+
     def test_live_fastpath_values_only_frames_bitwise(self, dse118):
         """Repeated values-only frames over the live fast-path fabric stay
         bit-identical to the in-process DSE's warm ``run(z=)`` path."""
