@@ -6,9 +6,10 @@ the hot-path seed-vs-optimised comparison, the PR-2 scale-out throughput
 grid, the PR-3 middleware fast path (pooled/batched small-message
 throughput, echo round-trip latency and the mux-fabric data path over
 localhost TCP), the PR-4 observability instrumentation overhead on the
-warm DSE hot path, and the PR-5 fault-injection hook overhead on the live
-frame loop — and writes the numbers to ``BENCH_pr5.json`` at the
-repository root::
+warm DSE hot path, the PR-5 fault-injection hook overhead on the live
+frame loop, and the PR-6 batched scenario sweep (copy-on-write fork cost
+and the one-batched-solve N-1 throughput) — and writes the numbers to
+``BENCH_pr6.json`` at the repository root::
 
     PYTHONPATH=src python benchmarks/record_bench.py
 
@@ -25,9 +26,13 @@ sampling must cost ≤ 5% on the warm IEEE-118 frame loop, with bit-identical
 estimator outputs either way (the parity check runs regardless of cores).
 The PR-5 gate follows the same shape: an installed-but-idle fault injector
 must cost ≤ 5% on the live IEEE-118 frame loop (≥ 2 cores), with
-bit-identical outputs and zero fired faults on every host.  On smaller
-hosts the numbers are still recorded (with the core count) but the
-scale-dependent gates are not evaluated.
+bit-identical outputs and zero fired faults on every host.  The PR-6 gate:
+the warm batched IEEE-118 N-1 sweep must reach ≥ 10× the serial per-outage
+loop (≥ 2 cores), scenario forks must stay O(delta) (a ≥ 100× smaller
+payload than the network, required on every host), and batch/serial
+loadings must agree to ≤ 1e-9.  On smaller hosts the numbers are still
+recorded (with the core count) but the scale-dependent gates are not
+evaluated.
 """
 
 from __future__ import annotations
@@ -48,6 +53,10 @@ from bench_middleware_fastpath import (  # noqa: E402
     measure_fabric_throughput,
     measure_roundtrip_latency,
     measure_small_message_throughput,
+)
+from bench_batch_sweep import (  # noqa: E402
+    measure_fork_cost,
+    measure_sweep_throughput,
 )
 from bench_fault_overhead import measure_fault_overhead  # noqa: E402
 from bench_obs_overhead import measure_obs_overhead  # noqa: E402
@@ -70,7 +79,7 @@ from repro.grid import run_ac_power_flow  # noqa: E402
 from repro.grid.cases import case118  # noqa: E402
 from repro.measurements import full_placement, generate_measurements  # noqa: E402
 
-OUT = ROOT / "BENCH_pr5.json"
+OUT = ROOT / "BENCH_pr6.json"
 
 
 def _setup118():
@@ -258,6 +267,26 @@ def _fault_gate(rec: dict, cores: int | None) -> tuple[bool, str]:
     return ok, f"{summary} (need <= +5.00%)"
 
 
+def _batch_gate(sweep: dict, fork: dict, cores: int | None) -> tuple[bool, str]:
+    """≥10× warm batched N-1 sweep vs the serial loop, gated on ≥2 cores;
+    O(delta) fork payloads (≥100× smaller than the network) and ≤1e-9
+    batch/serial loading parity are required on every host."""
+    ratio = min(rec["bytes_ratio"] for rec in fork.values())
+    summary = (
+        f"batched sweep {sweep['batch_speedup_vs_serial']:.1f}x, "
+        f"parity {sweep['max_abs_dloading']:.1e}, "
+        f"fork payload {ratio:.0f}x smaller than the network"
+    )
+    if ratio < 100:
+        return False, f"gate failed: fork payload not O(delta) ({summary})"
+    if sweep["max_abs_dloading"] > 1e-9:
+        return False, f"gate failed: batch/serial parity ({summary})"
+    if (cores or 1) < 2:
+        return True, f"gate skipped: {cores} core(s) < 2 (recorded: {summary})"
+    ok = sweep["batch_speedup_vs_serial"] >= 10.0
+    return ok, f"{summary} (need >= 10.0x)"
+
+
 def main() -> int:
     net, pf, dec, ms = _setup118()
 
@@ -307,8 +336,17 @@ def main() -> int:
     fault_ok, fault_msg = _fault_gate(fault_overhead, os.cpu_count())
     print(f"  {fault_msg}")
 
+    print("running batched scenario sweep (fork cost + N-1 throughput) ...")
+    fork_cost = measure_fork_cost()
+    sweep = measure_sweep_throughput()
+    print(f"  serial {sweep['serial_time_s'] * 1e3:.1f} ms  "
+          f"batched {sweep['batch_time_s'] * 1e3:.1f} ms  "
+          f"speedup {sweep['batch_speedup_vs_serial']:.1f}x")
+    batch_ok, batch_msg = _batch_gate(sweep, fork_cost, os.cpu_count())
+    print(f"  {batch_msg}")
+
     payload = {
-        "pr": 5,
+        "pr": 6,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cores": os.cpu_count(),
@@ -323,6 +361,9 @@ def main() -> int:
         "obs_overhead_gate": obs_msg,
         "fault_overhead": fault_overhead,
         "fault_overhead_gate": fault_msg,
+        "fork_cost": fork_cost,
+        "batch_sweep": sweep,
+        "batch_sweep_gate": batch_msg,
     }
     OUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT}")
@@ -338,7 +379,11 @@ def main() -> int:
         print(f"ACCEPTANCE FAILED: {obs_msg}")
     if not fault_ok:
         print(f"ACCEPTANCE FAILED: {fault_msg}")
-    return 0 if ok and scaleout_ok and fastpath_ok and obs_ok and fault_ok else 1
+    if not batch_ok:
+        print(f"ACCEPTANCE FAILED: {batch_msg}")
+    all_ok = (ok and scaleout_ok and fastpath_ok and obs_ok and fault_ok
+              and batch_ok)
+    return 0 if all_ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,84 @@
+"""Copy-on-write scenario forking + SIMD-over-scenarios batch solving.
+
+Run with::
+
+    python examples/batch_sweep.py
+
+A scenario sweep (what-if studies, N-1 screening, Monte-Carlo telemetry
+frames) solves many *nearly identical* problems.  The batched stack
+exploits that: each scenario is a compact :class:`NetworkDelta` against
+one shared base network (O(changed elements), never a network copy), and
+the whole sweep runs as batched array kernels — one compensation-based DC
+solve for an entire contingency list, one block-diagonal Gauss-Newton
+iteration for a batch of estimation scenarios.
+"""
+
+import time
+
+import numpy as np
+
+from repro.contingency import ContingencyAnalyzer, enumerate_n1
+from repro.estimation import BatchEstimator, BatchScenario, WlsEstimator
+from repro.grid import NetworkDelta, run_ac_power_flow
+from repro.grid.cases import case118
+from repro.measurements import full_placement, generate_measurements
+
+
+def main() -> None:
+    net = case118()
+    pf = run_ac_power_flow(net)
+
+    # 1. Scenarios are deltas, not copies: forking is O(changed elements).
+    delta = NetworkDelta.branch_outage(0, label="what-if")
+    forked = net.fork(delta)
+    print(f"scenario delta: {delta.nbytes} B payload "
+          f"(vs {net.r.nbytes * 12} B-class network arrays); "
+          f"fork shares untouched arrays: {forked.r is net.r}")
+
+    # 2. One batched DC solve screens the whole N-1 list.
+    safe, islanding = enumerate_n1(net)
+    analyzer = ContingencyAnalyzer(net, method="dc", rating_margin=1.3)
+    t0 = time.perf_counter()
+    serial = [analyzer.analyze(c) for c in safe]
+    t_serial = time.perf_counter() - t0
+    analyzer.analyze_batch(safe)  # warm the compensation cache
+    t0 = time.perf_counter()
+    batched = analyzer.analyze_batch(safe)
+    t_batch = time.perf_counter() - t0
+    agree = sum(
+        abs(a.max_loading - b.max_loading) < 1e-9
+        for a, b in zip(serial, batched)
+    )
+    print(f"\nN-1 sweep ({len(safe)} outages, {len(islanding)} islanding "
+          f"skipped): serial {t_serial * 1e3:.1f} ms, "
+          f"batched {t_batch * 1e3:.1f} ms, "
+          f"speedup {t_serial / t_batch:.1f}x, "
+          f"max-loading agreement {agree}/{len(safe)}")
+
+    # 3. Batched estimation: K scenarios, one block solve per iteration.
+    rng = np.random.default_rng(0)
+    mset = generate_measurements(net, full_placement(net), pf, rng=rng)
+    scenarios = [
+        BatchScenario(label="base"),
+        BatchScenario(delta=NetworkDelta.branch_outage(0), label="outage 0"),
+        BatchScenario(
+            z=mset.z + 0.01 * mset.sigma * rng.standard_normal(len(mset)),
+            label="fresh scan",
+        ),
+        BatchScenario(
+            delta=NetworkDelta.load_override([10], Pd=[0.9]),
+            label="load step",
+        ),
+    ]
+    est = BatchEstimator(net, mset)
+    batch = est.estimate_batch(scenarios)
+    ref = WlsEstimator(net, mset).estimate()
+    print(f"\nbatched estimation of {len(batch)} scenarios:")
+    for sc, res in zip(scenarios, batch):
+        print(f"  {sc.label:>10}: converged={res.converged} "
+              f"in {res.iterations} iterations, "
+              f"max|dVm| vs base {np.abs(res.Vm - ref.Vm).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

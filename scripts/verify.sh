@@ -30,4 +30,7 @@ python examples/observability_demo.py
 echo "== chaos smoke (seeded fault plan, retries, degraded live run) =="
 python examples/chaos_demo.py
 
+echo "== batch sweep smoke (copy-on-write forks + SIMD batch solves) =="
+python examples/batch_sweep.py
+
 echo "verify: OK"

@@ -111,6 +111,7 @@ def run_parallel(
     executor: "SubsystemExecutor | str | int | None" = None,
     n_workers: int = 4,
     scheme: str = "dynamic",
+    batch: bool = False,
 ) -> ParallelAnalysisReport:
     """Analyse contingencies through any executor backend.
 
@@ -125,7 +126,23 @@ def run_parallel(
     :class:`~repro.parallel.ProcessPoolBackend`, the analyzer ships to each
     worker once (pool initializer) and every task carries only the
     contingency record, so the workers stay warm across sweeps.
+
+    ``batch=True`` skips the executor fan-out entirely and drains the list
+    through :meth:`ContingencyAnalyzer.analyze_batch` — one batched
+    (compensation-based) solve on the calling thread.  The report then
+    carries ``scheme="batch"`` with a single synthetic worker.
     """
+    if batch:
+        t0 = time.perf_counter()
+        results_b = analyzer.analyze_batch(contingencies)
+        makespan = time.perf_counter() - t0
+        return ParallelAnalysisReport(
+            results=results_b,
+            per_worker_cases=[len(results_b)],
+            per_worker_busy=[makespan],
+            makespan=makespan,
+            scheme="batch",
+        )
     if scheme not in ("static", "dynamic"):
         raise ValueError("scheme must be 'static' or 'dynamic'")
     own_pool = executor is None or isinstance(executor, (str, int))

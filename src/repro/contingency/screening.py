@@ -12,9 +12,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..grid.delta import NetworkDelta
 from ..grid.network import Network
 
-__all__ = ["Contingency", "enumerate_n1", "apply_outage"]
+__all__ = ["Contingency", "enumerate_n1", "apply_outage", "outage_delta"]
 
 
 @dataclass(frozen=True)
@@ -65,14 +66,21 @@ def enumerate_n1(net: Network) -> tuple[list[Contingency], list[Contingency]]:
     return safe, islanding
 
 
+def outage_delta(contingency: Contingency) -> NetworkDelta:
+    """The contingency as a compact copy-on-write scenario delta."""
+    return NetworkDelta.branch_outage(contingency.branch, label=contingency.label)
+
+
 def apply_outage(net: Network, contingency: Contingency) -> Network:
-    """Network copy with the contingency branch switched out."""
+    """Copy-on-write fork of ``net`` with the contingency branch out.
+
+    The fork shares every untouched array with the base (O(1) per
+    scenario, not O(network)); treat it as read-only like all power-flow
+    and estimation consumers already do.
+    """
     if contingency.branch >= net.n_branch:
         raise ValueError(f"branch {contingency.branch} out of range")
-    out = net.copy()
-    out.br_status = out.br_status.copy()
-    out.br_status[contingency.branch] = 0
-    return out
+    return net.fork(outage_delta(contingency))
 
 
 def _bridges(n: int, pairs: np.ndarray) -> set[tuple[int, int]]:

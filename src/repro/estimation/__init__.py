@@ -6,6 +6,7 @@ from .baddata import (
     identify_bad_data,
     normalized_residuals,
 )
+from .batch import BatchEstimationResult, BatchEstimator, BatchScenario
 from .hybrid import hybrid_estimate
 from .outputs import EstimatedOutputs, area_interchange, derive_outputs
 from .tracking import TrackedFrame, TrackingEstimator
@@ -24,12 +25,22 @@ from .pcg import (
     pcg_solve,
 )
 from .results import EstimationResult
-from .solvers import GainSolveError, GainSolver, build_gain, solve_normal_equations
+from .solvers import (
+    BatchGainSolver,
+    GainSolveError,
+    GainSolver,
+    build_gain,
+    solve_normal_equations,
+)
 from .wls import EstimationError, WlsEstimator, estimate_state
 
 __all__ = [
     "WlsEstimator",
     "estimate_state",
+    "BatchEstimator",
+    "BatchEstimationResult",
+    "BatchScenario",
+    "BatchGainSolver",
     "EstimationError",
     "EstimationResult",
     "GainSolveError",

@@ -93,12 +93,11 @@ def area_interchange(
         raise ValueError("labels length mismatch")
 
     out = derive_outputs(net, estimate)
-    interchange: dict[int, float] = {int(a): 0.0 for a in np.unique(labels)}
-    for k in net.live_branches():
-        a_from = int(labels[net.f[k]])
-        a_to = int(labels[net.t[k]])
-        if a_from == a_to:
-            continue
-        interchange[a_from] += float(out.Pf[k])
-        interchange[a_to] += float(out.Pt[k])
-    return interchange
+    areas, inv = np.unique(labels, return_inverse=True)
+    totals = np.zeros(len(areas))
+    live = net.live_branches()
+    a_from, a_to = inv[net.f[live]], inv[net.t[live]]
+    tie = a_from != a_to
+    np.add.at(totals, a_from[tie], out.Pf[live][tie])
+    np.add.at(totals, a_to[tie], out.Pt[live][tie])
+    return {int(a): float(v) for a, v in zip(areas, totals)}

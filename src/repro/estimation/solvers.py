@@ -26,6 +26,7 @@ import scipy.sparse.linalg as spla
 from .pcg import pcg_solve
 
 __all__ = [
+    "BatchGainSolver",
     "GainSolveError",
     "GainSolver",
     "build_gain",
@@ -144,6 +145,74 @@ class GainSolver:
                 f"PCG did not converge (rel. residual {res.residual_norm:.2e})"
             )
         return res.x
+
+
+class BatchGainSolver:
+    """Normal-equation solver for a block-diagonal batched Jacobian.
+
+    The batched Gauss-Newton iteration stacks K same-pattern scenario
+    Jacobians into one block-diagonal ``(K*m, K*ns)`` matrix, so the gain
+    matrix ``G = Hᵀ W H`` is block-diagonal too and one sparse LU
+    factorizes the entire batch — the block structure confines fill-in to
+    the diagonal blocks, making the batch factorization cost K independent
+    factorizations minus K-1 analysis phases.
+
+    Every scenario shares one sparsity pattern, so the fill-reducing column
+    ordering is computed for the *first block only* and tiled across the
+    batch; like :class:`GainSolver` the factorization then always runs
+    through the NATURAL-order path, keeping cold and warm solves
+    bit-identical.  The cached ordering survives changes of K (the active
+    set shrinks as scenarios converge).
+    """
+
+    def __init__(self) -> None:
+        self._perm_c: np.ndarray | None = None
+        self._pattern: tuple | None = None
+
+    def _block_perm(self, G: sp.csc_matrix, ns: int, K: int) -> np.ndarray:
+        G0 = G[:ns, :ns].tocsc()
+        pat = self._pattern
+        if (
+            pat is None
+            or pat[0] != G0.nnz
+            or not np.array_equal(pat[1], G0.indptr)
+            or not np.array_equal(pat[2], G0.indices)
+        ):
+            self._perm_c = spla.splu(G0).perm_c.copy()
+            self._pattern = (G0.nnz, G0.indptr.copy(), G0.indices.copy())
+        return (
+            self._perm_c[None, :] + ns * np.arange(K, dtype=np.int64)[:, None]
+        ).ravel()
+
+    def solve(
+        self, H: sp.csc_matrix, weights: np.ndarray, r: np.ndarray
+    ) -> np.ndarray:
+        """Solve ``(Hᵀ W H) dx = Hᵀ W r`` for all K scenarios at once.
+
+        ``H`` is the block-diagonal batched Jacobian with K blocks of shape
+        ``(m, ns)``, ``weights`` the shared per-measurement weights (length
+        m, tiled over the batch) and ``r`` the stacked residuals ``(K, m)``.
+        Returns the stacked steps ``(K, ns)``.
+        """
+        K, m = r.shape
+        ns = H.shape[1] // K
+        if H.shape != (K * m, K * ns):
+            raise ValueError(f"H shape {H.shape} does not tile ({K}, {m})")
+        w_big = np.tile(weights, K)
+        Hw = _weighted_copy(H, w_big)
+        rhs = Hw.T @ r.ravel()
+        G = (H.T @ Hw).tocsc()
+        try:
+            permf = self._block_perm(G, ns, K)
+            lu = spla.splu(G[:, permf], permc_spec="NATURAL")
+        except RuntimeError as exc:
+            raise GainSolveError(f"batched gain matrix is singular: {exc}") from exc
+        y = lu.solve(rhs)
+        dx = np.empty_like(y)
+        dx[permf] = y
+        if not np.all(np.isfinite(dx)):
+            raise GainSolveError("batched gain solve produced non-finite step")
+        return dx.reshape(K, ns)
 
 
 def solve_normal_equations(

@@ -1,29 +1,43 @@
 """Power network substrate: data model, admittances, power flow, test cases."""
 
 from .builder import NetworkBuilder
+from .delta import DeltaError, NetworkDelta
 from .matpower import dump_matpower, load_matpower, parse_matpower, save_matpower
 from .islands import find_islands, is_single_island, subgraph_components
 from .network import BusType, Network, NetworkError
 from .powerflow import (
+    DcCompensationSolver,
     PowerFlowError,
     PowerFlowResult,
     run_ac_power_flow,
     run_dc_power_flow,
+    run_dc_power_flow_batch,
 )
-from .ybus import BranchAdmittances, branch_admittances, build_yf_yt, build_ybus
+from .ybus import (
+    BranchAdmittances,
+    batch_branch_admittances,
+    branch_admittances,
+    build_yf_yt,
+    build_ybus,
+)
 
 __all__ = [
     "BusType",
     "Network",
     "NetworkError",
+    "NetworkDelta",
+    "DeltaError",
     "BranchAdmittances",
+    "batch_branch_admittances",
     "branch_admittances",
     "build_ybus",
     "build_yf_yt",
+    "DcCompensationSolver",
     "PowerFlowError",
     "PowerFlowResult",
     "run_ac_power_flow",
     "run_dc_power_flow",
+    "run_dc_power_flow_batch",
     "find_islands",
     "parse_matpower",
     "load_matpower",

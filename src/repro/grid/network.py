@@ -319,6 +319,21 @@ class Network:
                 g.add_edge(u, v, branches=[int(k)])
         return g
 
+    def fork(self, delta=None) -> "Network":
+        """Copy-on-write scenario fork: base arrays plus a small delta.
+
+        ``delta`` is a :class:`~repro.grid.delta.NetworkDelta` (or ``None``
+        for a plain zero-cost view).  Only the arrays the delta touches are
+        copied — forking is O(changed elements), never a deep copy — so the
+        fork shares storage with its base and must be treated as read-only.
+        Use :meth:`copy` (or ``delta.materialize``) for an owned snapshot.
+        """
+        if delta is None:
+            from dataclasses import replace
+
+            return replace(self)
+        return delta.apply_to(self)
+
     def copy(self) -> "Network":
         """Deep copy (all arrays owned by the copy)."""
         return Network(

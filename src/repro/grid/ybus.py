@@ -20,7 +20,13 @@ import scipy.sparse as sp
 
 from .network import Network
 
-__all__ = ["BranchAdmittances", "branch_admittances", "build_ybus", "build_yf_yt"]
+__all__ = [
+    "BranchAdmittances",
+    "batch_branch_admittances",
+    "branch_admittances",
+    "build_ybus",
+    "build_yf_yt",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +48,34 @@ def branch_admittances(net: Network) -> BranchAdmittances:
 
     ytt = ys + 1j * bc
     yff = ytt / (net.tap * net.tap)
+    yft = -ys / np.conj(tap_c)
+    ytf = -ys / tap_c
+    return BranchAdmittances(yff=yff, yft=yft, ytf=ytf, ytt=ytt)
+
+
+def batch_branch_admittances(net: Network, status: np.ndarray) -> BranchAdmittances:
+    """Per-scenario admittance terms for K branch-status vectors.
+
+    ``status`` has shape ``(K, n_branch)``; the returned terms are
+    column-stacked ``(n_branch, K)`` arrays (one column per scenario), the
+    layout the batched measurement/Jacobian kernels consume.  Branch
+    parameters are shared with the base network — only the status varies
+    per scenario.
+    """
+    st = np.atleast_2d(np.asarray(status, dtype=float))
+    if st.shape[1] != net.n_branch:
+        raise ValueError(
+            f"status must have {net.n_branch} columns, got {st.shape}"
+        )
+    st = st.T  # (nl, K)
+    z = net.r + 1j * net.x
+    # Dead zero-impedance branches are legal in case data; guard the 0/0.
+    ys = st * np.where(z != 0, 1.0 / np.where(z != 0, z, 1.0), 0.0)[:, None]
+    bc = st * (net.b / 2.0)[:, None]
+    tap_c = (net.tap * np.exp(1j * net.shift))[:, None]
+
+    ytt = ys + 1j * bc
+    yff = ytt / (net.tap * net.tap)[:, None]
     yft = -ys / np.conj(tap_c)
     ytf = -ys / tap_c
     return BranchAdmittances(yff=yff, yft=yft, ytf=ytf, ytt=ytt)

@@ -18,10 +18,100 @@ import scipy.sparse as sp
 
 from ..grid.network import Network
 from ..grid.powerflow import dsbus_dv
-from ..grid.ybus import build_yf_yt, build_ybus
+from ..grid.ybus import (
+    BranchAdmittances,
+    batch_branch_admittances,
+    branch_admittances,
+    build_yf_yt,
+    build_ybus,
+)
 from .types import MeasType, MeasurementSet
 
-__all__ = ["JacobianStructure", "MeasurementModel"]
+__all__ = ["BatchOperators", "JacobianStructure", "MeasurementModel"]
+
+
+class BatchOperators:
+    """Per-scenario admittance values + current kernels for a scenario batch.
+
+    Batched evaluation stacks K scenarios that share one network *pattern*
+    but may differ in branch status.  The four branch admittance terms are
+    held as ``(n_branch, Ka)`` columns with ``Ka == K`` when scenarios
+    differ topologically and ``Ka == 1`` (a broadcast view of the base
+    admittances) when they do not — the uniform case then reuses the
+    model's exact sparse operators, keeping floating-point drift against
+    the serial path to a minimum.
+    """
+
+    def __init__(
+        self,
+        model: "MeasurementModel",
+        adm: BranchAdmittances,
+        Ka: int,
+        is_base: bool = False,
+    ):
+        self.model = model
+        self.adm = adm
+        self.Ka = Ka
+        # True only for the broadcast base-topology instance; a batch
+        # select()-ed down to one scenario still carries its own column.
+        self.is_base = is_base
+        self._stack: np.ndarray | None = None
+
+    @classmethod
+    def for_status(
+        cls, model: "MeasurementModel", status: np.ndarray | None = None
+    ) -> "BatchOperators":
+        """Build operators for K status rows (``None`` = base topology)."""
+        if status is None:
+            a = branch_admittances(model.net)
+            adm = BranchAdmittances(
+                yff=a.yff[:, None], yft=a.yft[:, None],
+                ytf=a.ytf[:, None], ytt=a.ytt[:, None],
+            )
+            return cls(model, adm, 1, is_base=True)
+        adm = batch_branch_admittances(model.net, status)
+        return cls(model, adm, adm.yff.shape[1])
+
+    def select(self, idx: np.ndarray) -> "BatchOperators":
+        """Operators restricted to the scenario columns ``idx``."""
+        if self.is_base:
+            return self
+        a = self.adm
+        return BatchOperators(
+            self.model,
+            BranchAdmittances(
+                yff=a.yff[:, idx], yft=a.yft[:, idx],
+                ytf=a.ytf[:, idx], ytt=a.ytt[:, idx],
+            ),
+            len(idx),
+        )
+
+    @property
+    def adm_stack(self) -> np.ndarray:
+        """``(4*n_branch, Ka)`` stack ``[yff; yft; ytf; ytt]`` consumed by
+        the pattern mapping matrices."""
+        if self._stack is None:
+            a = self.adm
+            self._stack = np.concatenate([a.yff, a.yft, a.ytf, a.ytt], axis=0)
+        return self._stack
+
+    def currents(self, V: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Branch and bus currents for bus voltages ``V`` of shape (n, K).
+
+        Returns ``(If, It, Ibus)`` — from-/to-end branch currents (nl, K)
+        and net bus current injections (n, K).
+        """
+        model, net = self.model, self.model.net
+        if self.is_base:
+            # Base topology: the exact sparse operators apply column-wise.
+            return model.yf @ V, model.yt @ V, model.ybus @ V
+        a = self.adm
+        If = a.yff * V[net.f] + a.yft * V[net.t]
+        It = a.ytf * V[net.f] + a.ytt * V[net.t]
+        cfT, ctT = model._incidence()
+        ysh = net.Gs + 1j * net.Bs
+        Ibus = cfT @ If + ctT @ It + ysh[:, None] * V
+        return If, It, Ibus
 
 
 def _union_with_terminal(
@@ -292,6 +382,167 @@ class JacobianStructure:
             shape=(self.n_rows, self.n_cols),
         )
 
+    # ------------------------------------------------------------------
+    # Batched (SIMD-over-scenarios) evaluation
+    # ------------------------------------------------------------------
+    def _ensure_batch_maps(self) -> None:
+        """Sparse maps from per-scenario admittances to pattern values.
+
+        The union patterns (``_inj``/``_fside``/``_tside``/``_imag``) store
+        the *base* operator values; per-scenario values on the identical
+        pattern are ``M @ [yff; yft; ytf; ytt] + const`` where ``M`` scatters
+        each branch's four admittance terms to its pattern positions and
+        ``const`` carries the (topology-independent) shunt diagonal.  Built
+        once per structure; the searchsorted lookups rely on the patterns
+        being row-major sorted, which ``_union_with_terminal`` guarantees.
+        """
+        if getattr(self, "_bmaps", None) is not None:
+            return
+        net = self.model.net
+        n, nl = net.n_bus, net.n_branch
+        il = np.arange(nl)
+        maps: dict[str, tuple[sp.csr_matrix, np.ndarray]] = {}
+
+        def mapping(rows, cols, contribs, const=None):
+            keys = rows.astype(np.int64) * n + cols.astype(np.int64)
+            ne = len(keys)
+            mr: list[np.ndarray] = []
+            mc: list[np.ndarray] = []
+            for kr, kc, block in contribs:
+                k = kr.astype(np.int64) * n + kc.astype(np.int64)
+                pos = np.searchsorted(keys, k)
+                pos_c = np.minimum(pos, max(ne - 1, 0))
+                if ne == 0 or not (
+                    np.all(pos < ne) and np.array_equal(keys[pos_c], k)
+                ):
+                    raise AssertionError(
+                        "batch pattern map: branch entry missing from pattern"
+                    )
+                mr.append(pos)
+                mc.append(block * nl + il)
+            M = sp.coo_matrix(
+                (
+                    np.ones(sum(len(x) for x in mr)),
+                    (np.concatenate(mr), np.concatenate(mc)),
+                ),
+                shape=(ne, 4 * nl),
+            ).tocsr()
+            c = np.zeros(ne, complex)
+            if const is not None:
+                b = np.arange(n, dtype=np.int64)
+                c[np.searchsorted(keys, b * n + b)] = const
+            return M, c
+
+        f, t = net.f, net.t
+        if self._need_inj:
+            ir, ic, _, _ = self._inj
+            maps["inj"] = mapping(
+                ir, ic,
+                [(f, f, 0), (f, t, 1), (t, f, 2), (t, t, 3)],
+                const=net.Gs + 1j * net.Bs,
+            )
+        if self._need_f:
+            fr, fc, _, _ = self._fside
+            maps["f"] = mapping(fr, fc, [(il, f, 0), (il, t, 1)])
+        if self._need_t:
+            tr, tc, _, _ = self._tside
+            maps["t"] = mapping(tr, tc, [(il, f, 2), (il, t, 3)])
+        if self._need_imag:
+            mr_, mc_, _ = self._imag
+            maps["imag"] = mapping(mr_, mc_, [(il, f, 0), (il, t, 1)])
+        self._bmaps = maps
+
+    def fill_batch(
+        self, Vm: np.ndarray, Va: np.ndarray, ops: "BatchOperators | None" = None
+    ) -> sp.csc_matrix:
+        """Block-diagonal batched Jacobian at K states on the cached pattern.
+
+        ``Vm``/``Va`` are ``(K, n_bus)`` state stacks; ``ops`` carries the
+        per-scenario admittances (base topology when omitted).  Returns the
+        ``(K*n_rows, K*n_cols)`` block-diagonal CSC whose k-th block equals
+        :meth:`fill` evaluated on scenario k — exactly for uniform
+        topology, to floating-point round-off otherwise.
+        """
+        model = self.model
+        if ops is None:
+            ops = model.batch_operators()
+        Vm = np.atleast_2d(Vm)
+        Va = np.atleast_2d(Va)
+        K = Vm.shape[0]
+        V = (Vm * np.exp(1j * Va)).T  # (n, K)
+        vnorm = V / np.abs(V)
+        self._ensure_batch_maps()
+        uniform = ops.is_base
+        stack = None if uniform else ops.adm_stack
+        src: dict[str, np.ndarray] = {}
+
+        if self._need_inj or self._need_f or self._need_t or self._need_imag:
+            If, It, Ibus = ops.currents(V)
+
+        if self._need_inj:
+            ir, ic, iv, idg = self._inj
+            ivK = (
+                iv[:, None]
+                if uniform
+                else self._bmaps["inj"][0] @ stack + self._bmaps["inj"][1][:, None]
+            )
+            dg = idg[:, None]
+            src["inj_dva"] = 1j * V[ir] * np.conj(dg * Ibus[ir] - ivK * V[ic])
+            src["inj_dvm"] = V[ir] * np.conj(ivK) * np.conj(vnorm[ic]) + dg * (
+                np.conj(Ibus[ir]) * vnorm[ir]
+            )
+        if self._need_f:
+            fr, fc, fv, ift = self._fside
+            fvK = fv[:, None] if uniform else self._bmaps["f"][0] @ stack
+            term = model.net.f
+            iftc = ift[:, None]
+            src["f_dva"] = 1j * (
+                np.conj(If[fr]) * (iftc * V[fc])
+                - V[term[fr]] * np.conj(fvK) * np.conj(V[fc])
+            )
+            src["f_dvm"] = V[term[fr]] * np.conj(fvK) * np.conj(vnorm[fc]) + np.conj(
+                If[fr]
+            ) * (iftc * vnorm[fc])
+        if self._need_t:
+            tr, tc, tv, itt = self._tside
+            tvK = tv[:, None] if uniform else self._bmaps["t"][0] @ stack
+            term = model.net.t
+            ittc = itt[:, None]
+            src["t_dva"] = 1j * (
+                np.conj(It[tr]) * (ittc * V[tc])
+                - V[term[tr]] * np.conj(tvK) * np.conj(V[tc])
+            )
+            src["t_dvm"] = V[term[tr]] * np.conj(tvK) * np.conj(vnorm[tc]) + np.conj(
+                It[tr]
+            ) * (ittc * vnorm[tc])
+        if self._need_imag:
+            mr, mc, mv = self._imag
+            mvK = mv[:, None] if uniform else self._bmaps["imag"][0] @ stack
+            mag = np.abs(If)
+            scale = np.where(mag > 1e-9, 1.0 / np.maximum(mag, 1e-9), 0.0)
+            w = np.conj(If) * scale
+            src["imag_da"] = np.real(w[mr] * (mvK * (1j * V[mc])))
+            src["imag_dm"] = np.real(w[mr] * (mvK * vnorm[mc]))
+
+        vals = np.repeat(self._template[:, None], K, axis=1)
+        for pos, name, p in self._groups:
+            arr = src[name][self._gidx[pos]]
+            vals[pos] = arr.real if p == 1 else arr.imag
+        return self._block_csc(vals, K)
+
+    def _block_csc(self, vals: np.ndarray, K: int) -> sp.csc_matrix:
+        """Assemble (n_entries, K) values into the block-diagonal CSC."""
+        nnz = len(self._perm)
+        data = vals[self._perm].T.ravel()
+        m, nc = self.n_rows, self.n_cols
+        idx = self._indices.astype(np.int64)
+        indices = (idx[None, :] + m * np.arange(K)[:, None]).ravel()
+        ptr = self._indptr.astype(np.int64)
+        indptr = np.append(
+            (ptr[:-1][None, :] + nnz * np.arange(K)[:, None]).ravel(), nnz * K
+        )
+        return sp.csc_matrix((data, indices, indptr), shape=(K * m, K * nc))
+
 
 def _dsbr_dv(
     ybr: sp.csr_matrix, term: np.ndarray, V: np.ndarray, nl: int, n: int
@@ -334,6 +585,8 @@ class MeasurementModel:
         self.yf, self.yt = build_yf_yt(net)
         self.n_state = 2 * net.n_bus
         self._jac_structs: dict[bytes | None, JacobianStructure] = {}
+        self._incT: tuple[sp.csr_matrix, sp.csr_matrix] | None = None
+        self._base_ops: BatchOperators | None = None
 
         for t in MeasType:
             el = mset.elements(t)
@@ -501,6 +754,91 @@ class MeasurementModel:
         or re-slicing columns on every call.
         """
         return self.jacobian_structure(keep).fill(Vm, Va)
+
+    # ------------------------------------------------------------------
+    # Batched (SIMD-over-scenarios) evaluation
+    # ------------------------------------------------------------------
+    def _incidence(self) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+        """Transposed branch incidence one-hots ``(CfT, CtT)``, each
+        ``n_bus x n_branch``, for accumulating branch currents to buses."""
+        if self._incT is None:
+            net = self.net
+            nl, n = net.n_branch, net.n_bus
+            il = np.arange(nl)
+            ones = np.ones(nl)
+            cfT = sp.coo_matrix((ones, (net.f, il)), shape=(n, nl)).tocsr()
+            ctT = sp.coo_matrix((ones, (net.t, il)), shape=(n, nl)).tocsr()
+            self._incT = (cfT, ctT)
+        return self._incT
+
+    def batch_operators(self, status: np.ndarray | None = None) -> BatchOperators:
+        """Batch evaluation operators for K branch-status rows.
+
+        ``status=None`` means every scenario shares the base topology; that
+        (cached) instance broadcasts one admittance column over the batch.
+        """
+        if status is None:
+            if self._base_ops is None:
+                self._base_ops = BatchOperators.for_status(self)
+            return self._base_ops
+        return BatchOperators.for_status(self, status)
+
+    def h_batch(
+        self, Vm: np.ndarray, Va: np.ndarray, ops: BatchOperators | None = None
+    ) -> np.ndarray:
+        """Evaluate h(x) for K stacked states at once.
+
+        ``Vm``/``Va`` are ``(K, n_bus)``; returns ``(K, len(mset))`` with
+        row k equal to :meth:`h` on scenario k (exactly for uniform
+        topology, to round-off otherwise).
+        """
+        net, ms = self.net, self.mset
+        if ops is None:
+            ops = self.batch_operators()
+        Vm = np.atleast_2d(Vm)
+        Va = np.atleast_2d(Va)
+        K = Vm.shape[0]
+        V = (Vm * np.exp(1j * Va)).T  # (n, K)
+        out = np.empty((K, len(ms)))
+
+        def put(t: MeasType, values: np.ndarray) -> None:
+            """Scatter (n_el, K) values into the output rows for type t."""
+            rows = ms.rows(t)
+            if rows.size:
+                out[:, rows] = values[ms.elements(t)].T
+
+        put(MeasType.V_MAG, Vm.T)
+        put(MeasType.PMU_VA, Va.T)
+
+        need_flow = (
+            ms.count(MeasType.P_INJ)
+            or ms.count(MeasType.Q_INJ)
+            or ms.count(MeasType.P_FLOW_F)
+            or ms.count(MeasType.Q_FLOW_F)
+            or ms.count(MeasType.I_MAG_F)
+            or ms.count(MeasType.P_FLOW_T)
+            or ms.count(MeasType.Q_FLOW_T)
+        )
+        if need_flow:
+            If, It, Ibus = ops.currents(V)
+            if ms.count(MeasType.P_INJ) or ms.count(MeasType.Q_INJ):
+                sbus = V * np.conj(Ibus)
+                put(MeasType.P_INJ, sbus.real)
+                put(MeasType.Q_INJ, sbus.imag)
+            if (
+                ms.count(MeasType.P_FLOW_F)
+                or ms.count(MeasType.Q_FLOW_F)
+                or ms.count(MeasType.I_MAG_F)
+            ):
+                sf = V[net.f] * np.conj(If)
+                put(MeasType.P_FLOW_F, sf.real)
+                put(MeasType.Q_FLOW_F, sf.imag)
+                put(MeasType.I_MAG_F, np.abs(If))
+            if ms.count(MeasType.P_FLOW_T) or ms.count(MeasType.Q_FLOW_T):
+                st = V[net.t] * np.conj(It)
+                put(MeasType.P_FLOW_T, st.real)
+                put(MeasType.Q_FLOW_T, st.imag)
+        return out
 
     # ------------------------------------------------------------------
     def residual(self, z: np.ndarray, Vm: np.ndarray, Va: np.ndarray) -> np.ndarray:

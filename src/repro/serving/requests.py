@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..contingency.screening import Contingency
+from ..grid.delta import NetworkDelta
 
 __all__ = [
     "EstimationRequest",
@@ -44,11 +45,19 @@ class EstimationRequest:
     ``z`` optionally carries fresh measured values over the service's
     template placement (values-only frame — the warm cached structures are
     reused); ``None`` re-estimates the template snapshot.
+
+    ``delta`` optionally makes the frame a *what-if scenario*: a
+    copy-on-write :class:`~repro.grid.delta.NetworkDelta` against the
+    service's base network (branch flips, injection overrides, warm
+    starts).  Scenario frames require a service built with
+    ``batch_solve=True`` — they are solved through the batched estimator,
+    never through the per-frame DSE engines.
     """
 
     z: np.ndarray | None = None
     rounds: int | None = None
     tol: float = 1e-8
+    delta: NetworkDelta | None = None
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,18 @@ Contingency batches go through
 :func:`repro.contingency.parallel.run_parallel`, sharing the service's
 executor — with a process pool, the analyzer ships to each worker once and
 every case is a compact payload.
+
+``batch_solve=True`` swaps the drain path from fan-out to SIMD: one flush
+becomes *one batched solve* instead of N executor tasks.  Estimation
+frames in a flush are grouped by tolerance and pushed through a single
+:class:`~repro.estimation.batch.BatchEstimator` over the base network
+(block-diagonal normal equations, per-scenario convergence masks);
+contingency cases drain through
+:meth:`~repro.contingency.analysis.ContingencyAnalyzer.analyze_batch`
+(one compensation-based DC solve for the whole list).  Estimation results
+are then central WLS :class:`~repro.estimation.results.EstimationResult`
+values rather than DSE frames — same state to round-off, no per-area
+telemetry — and ``rounds`` is ignored (there is no coordination loop).
 """
 
 from __future__ import annotations
@@ -83,6 +95,13 @@ class ScenarioService:
     fast:
         Forwarded to the live engine: multiplexed fast-path fabric
         (default) vs legacy per-pair pipelines.
+    batch_solve:
+        Drain flushes through the SIMD path: estimation frames through one
+        :class:`~repro.estimation.batch.BatchEstimator` (grouped by
+        ``tol``; values are central-WLS ``EstimationResult``\\ s and
+        ``rounds`` is ignored), contingency cases through
+        ``analyzer.analyze_batch``.  Required for requests carrying a
+        scenario ``delta``.
     request_timeout:
         Per-request deadline in seconds, measured from ``submit``.  A
         request still queued when its deadline passes is shed at dispatch
@@ -113,6 +132,7 @@ class ScenarioService:
         tol: float = 1e-8,
         use_tcp: bool = False,
         fast: bool = True,
+        batch_solve: bool = False,
         request_timeout: float | None = None,
         max_queue: int | None = None,
     ):
@@ -135,6 +155,11 @@ class ScenarioService:
         self.max_queue = max_queue
         self.rounds = rounds
         self.tol = tol
+        self.batch_solve = bool(batch_solve)
+        self._solver = solver
+        self._dec = dec
+        self._mset = mset
+        self._batch_estimator = None  # lazily built on first batched flush
 
         if engine == "dse":
             self._dse = DistributedStateEstimator(
@@ -179,6 +204,15 @@ class ScenarioService:
             )
         if self._closed:
             raise RuntimeError("ScenarioService is closed")
+        if (
+            isinstance(request, EstimationRequest)
+            and request.delta is not None
+            and not self.batch_solve
+        ):
+            raise ValueError(
+                "scenario deltas need a batched drain path; build the "
+                "service with batch_solve=True"
+            )
         self._ensure_dispatcher()
         fut: Future = Future()
         if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
@@ -195,12 +229,14 @@ class ScenarioService:
         *,
         rounds: int | None = None,
         tol: float | None = None,
+        delta=None,
     ) -> Future:
         return self.submit(
             EstimationRequest(
                 z=z,
                 rounds=rounds if rounds is not None else self.rounds,
                 tol=tol if tol is not None else self.tol,
+                delta=delta,
             )
         )
 
@@ -297,6 +333,7 @@ class ScenarioService:
                         [it[0].contingency for it in cons],
                         executor=self.executor,
                         scheme="dynamic",
+                        batch=self.batch_solve,
                     )
                     for it, res in zip(cons, report.results):
                         self._resolve(it, res, size)
@@ -305,14 +342,17 @@ class ScenarioService:
                         if not fut.done():
                             fut.set_exception(exc)
 
-            for it in ests:
-                req = it[0]
-                try:
-                    value = self._run_estimation(req)
-                except BaseException as exc:
-                    it[1].set_exception(exc)
-                else:
-                    self._resolve(it, value, size)
+            if ests and self.batch_solve:
+                self._execute_estimations_batched(ests, size)
+            else:
+                for it in ests:
+                    req = it[0]
+                    try:
+                        value = self._run_estimation(req)
+                    except BaseException as exc:
+                        it[1].set_exception(exc)
+                    else:
+                        self._resolve(it, value, size)
 
         self.stats.record_batch(size)
         if obs.enabled():
@@ -324,6 +364,49 @@ class ScenarioService:
         if self._dse is not None:
             return self._dse.run(rounds=req.rounds, tol=req.tol, z=req.z)
         return self._runtime.run(rounds=req.rounds, tol=req.tol, z=req.z)
+
+    def _batched_estimator(self):
+        """The service's SIMD estimation engine (built on first use)."""
+        if self._batch_estimator is None:
+            from ..estimation.batch import BatchEstimator
+
+            self._batch_estimator = BatchEstimator(
+                self._dec.net,
+                self._mset,
+                solver=self._solver,
+                max_batch=self.max_batch,
+            )
+        return self._batch_estimator
+
+    def _execute_estimations_batched(self, ests: list, size: int) -> None:
+        """Drain a flush's estimation frames as one batched solve per tol.
+
+        Frames sharing a tolerance stack into one
+        :meth:`~repro.estimation.batch.BatchEstimator.estimate_batch`
+        call; each future resolves to its scenario's
+        :class:`~repro.estimation.results.EstimationResult`.  A solve
+        failure (e.g. a delta that islands the network) fails every
+        future in that tolerance group — the block solve is shared.
+        """
+        from ..estimation.batch import BatchScenario
+
+        groups: dict[float, list] = {}
+        for it in ests:
+            groups.setdefault(float(it[0].tol), []).append(it)
+        est = self._batched_estimator()
+        for tol, group in groups.items():
+            scenarios = [
+                BatchScenario(delta=it[0].delta, z=it[0].z) for it in group
+            ]
+            try:
+                batch = est.estimate_batch(scenarios, tol=tol)
+            except BaseException as exc:
+                for _, fut, _ in group:
+                    if not fut.done():
+                        fut.set_exception(exc)
+            else:
+                for it, res in zip(group, batch.results):
+                    self._resolve(it, res, size)
 
     def _resolve(self, item, value, batch_size: int) -> None:
         request, fut, t_submit = item

@@ -4,6 +4,7 @@ Example::
 
     python -m repro.tools.contingency --case case118 --margin 1.5 --workers 4
     python -m repro.tools.contingency --case case118 --executor processes:4
+    python -m repro.tools.contingency --case case118 --batch
 """
 
 from __future__ import annotations
@@ -36,6 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="executor spec (serial | threads[:N] | processes[:N]); "
                         "overrides --workers with its own pool")
     p.add_argument("--scheme", default="dynamic", choices=["static", "dynamic"])
+    p.add_argument("--batch", action="store_true",
+                   help="drain the list through one batched (compensation) "
+                        "solve instead of the executor fan-out (dc only)")
     p.add_argument("--top", type=int, default=5, help="worst cases to print")
     p.add_argument("--seed", type=int, default=0)
     return p
@@ -64,11 +68,15 @@ def main(argv: list[str] | None = None) -> int:
         executor=args.executor,
         n_workers=args.workers,
         scheme=args.scheme,
+        batch=args.batch,
     )
-    backend = args.executor or f"{args.workers} threads"
+    if args.batch:
+        backend = "one batched solve"
+    else:
+        backend = args.executor or f"{args.workers} threads"
     insecure = [r for r in report.results if not r.secure]
     print(f"screened in {report.makespan * 1e3:.1f} ms on {backend} "
-          f"({args.scheme}); insecure: {len(insecure)}/{len(safe)}")
+          f"({report.scheme}); insecure: {len(insecure)}/{len(safe)}")
 
     worst = sorted(report.results, key=lambda r: -r.max_loading)[: args.top]
     print(f"\nworst {len(worst)} cases:")

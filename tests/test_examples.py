@@ -31,6 +31,7 @@ def _load(name: str):
         ("contingency_analysis", "speedup"),
         ("adaptive_operations", "frames"),
         ("serve_scenarios", "batches"),
+        ("batch_sweep", "speedup"),
     ],
 )
 def test_example_runs(capsys, name, marker):
