@@ -1,0 +1,140 @@
+"""PR-7 condensation benchmarks: Schur-reduced Step-2 exchange and solve.
+
+``measure_condensation`` runs the reference and the boundary-condensed
+DSE over the same warm estimators on three systems — IEEE-14, IEEE-118
+and the WECC-scale synthetic interconnection of
+:mod:`bench_ext_wecc_scale` (37 balancing authorities) — and records per
+case:
+
+- final-state parity between the two paths (gate: ≤ 1e-8 everywhere);
+- exchanged wire bytes, reference vs condensed (gate: ≥ 5× reduction at
+  WECC scale — the tie-endpoint boundary blocks against full
+  exchange-set broadcasts);
+- warm Step-2 solve time, reference vs condensed (gate: a measurable
+  reduction at WECC scale, evaluated on ≥ 2 core hosts only — the
+  boundary-sized solves against full extended re-factorizations).
+
+Run directly for a human-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_condensation.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dse import (
+    DistributedStateEstimator,
+    decompose,
+    decompose_by_areas,
+    dse_pmu_placement,
+)
+from repro.grid import run_ac_power_flow
+from repro.grid.cases import case14, case118, synthetic_grid
+from repro.measurements import full_placement, generate_measurements
+
+__all__ = ["measure_condensation"]
+
+#: benchmark systems: name -> (network builder, decomposition builder)
+CASES = {
+    "ieee14": (case14, lambda net: decompose(net, 3, seed=0)),
+    "ieee118": (case118, lambda net: decompose(net, 4, seed=0)),
+    "wecc37": (
+        lambda: synthetic_grid(n_areas=37, buses_per_area=40, seed=11),
+        decompose_by_areas,
+    ),
+}
+
+
+def _warm_step2_time(dse: DistributedStateEstimator, repeats: int):
+    """Best-of warm frame; returns (summed step2 time, result)."""
+    best, res = float("inf"), None
+    for _ in range(repeats):
+        r = dse.run()
+        s2 = sum(sum(rec.step2_times) for rec in r.records.values())
+        if s2 < best:
+            best, res = s2, r
+    return best, res
+
+
+def measure_condensation(repeats: int = 3) -> dict:
+    out = {}
+    for name, (build_net, build_dec) in CASES.items():
+        net = build_net()
+        dec = build_dec(net)
+        pf = run_ac_power_flow(net, flat_start=True)
+        rng = np.random.default_rng(7)
+        plac = full_placement(net).merged_with(dse_pmu_placement(dec))
+        ms = generate_measurements(net, plac, pf, rng=rng)
+
+        ref_dse = DistributedStateEstimator(dec, ms)
+        con_dse = DistributedStateEstimator(dec, ms, condense=True)
+        ref_dse.run()  # warm the caches before timing
+        t0 = time.perf_counter()
+        con_dse.run()  # first condensed frame pays the factorization
+        cold_frame = time.perf_counter() - t0
+        s2_ref, r_ref = _warm_step2_time(ref_dse, repeats)
+        s2_con, r_con = _warm_step2_time(con_dse, repeats)
+
+        recs = r_con.records.values()
+        out[name] = {
+            "n_bus": net.n_bus,
+            "n_subsystems": dec.m,
+            "rounds": r_con.rounds,
+            "max_abs_dVm": float(np.abs(r_con.Vm - r_ref.Vm).max()),
+            "max_abs_dVa": float(np.abs(r_con.Va - r_ref.Va).max()),
+            "bytes_reference": r_ref.total_bytes_exchanged,
+            "bytes_condensed": r_con.total_bytes_exchanged,
+            "bytes_reduction": (
+                r_ref.total_bytes_exchanged / r_con.total_bytes_exchanged
+            ),
+            "step2_reference_s": s2_ref,
+            "step2_condensed_s": s2_con,
+            "step2_speedup": s2_ref / s2_con,
+            "cold_condensed_frame_s": cold_frame,
+            "factor_time_s": sum(
+                con_dse._step2_cache[s][0].factor_time for s in range(dec.m)
+            ),
+            "boundary_states": sum(rec.n_boundary_states for rec in recs),
+            "interior_states": sum(rec.n_interior_states for rec in recs),
+            "fallbacks": sum(
+                con_dse._step2_cache[s][0].fallbacks for s in range(dec.m)
+            ),
+        }
+    return out
+
+
+def main() -> None:
+    res = measure_condensation()
+    print("PR-7 — boundary condensation (reference vs condensed Step 2)")
+    for name, rec in res.items():
+        print(
+            f"  {name:8s} ({rec['n_bus']:5d} buses, {rec['n_subsystems']:2d} "
+            f"subsystems, {rec['rounds']} rounds)"
+        )
+        print(
+            f"    parity     : dVm {rec['max_abs_dVm']:.2e}  "
+            f"dVa {rec['max_abs_dVa']:.2e}"
+        )
+        print(
+            f"    wire bytes : {rec['bytes_reference']:8d} -> "
+            f"{rec['bytes_condensed']:8d}  ({rec['bytes_reduction']:.2f}x "
+            "smaller)"
+        )
+        print(
+            f"    step2 time : {rec['step2_reference_s'] * 1e3:8.1f} ms -> "
+            f"{rec['step2_condensed_s'] * 1e3:8.1f} ms  "
+            f"({rec['step2_speedup']:.2f}x)"
+        )
+        print(
+            f"    condensed  : {rec['boundary_states']} boundary / "
+            f"{rec['interior_states']} interior states, factorization "
+            f"{rec['factor_time_s'] * 1e3:.1f} ms, "
+            f"{rec['fallbacks']} fallbacks"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,9 +7,11 @@ grid, the PR-3 middleware fast path (pooled/batched small-message
 throughput, echo round-trip latency and the mux-fabric data path over
 localhost TCP), the PR-4 observability instrumentation overhead on the
 warm DSE hot path, the PR-5 fault-injection hook overhead on the live
-frame loop, and the PR-6 batched scenario sweep (copy-on-write fork cost
-and the one-batched-solve N-1 throughput) — and writes the numbers to
-``BENCH_pr6.json`` at the repository root::
+frame loop, the PR-6 batched scenario sweep (copy-on-write fork cost
+and the one-batched-solve N-1 throughput), and the PR-7 boundary
+condensation comparison (reference vs Schur-condensed Step 2 on IEEE-14,
+IEEE-118 and the WECC-scale synthetic interconnection) — and writes the
+numbers to ``BENCH_pr7.json`` at the repository root::
 
     PYTHONPATH=src python benchmarks/record_bench.py
 
@@ -30,9 +32,12 @@ bit-identical outputs and zero fired faults on every host.  The PR-6 gate:
 the warm batched IEEE-118 N-1 sweep must reach ≥ 10× the serial per-outage
 loop (≥ 2 cores), scenario forks must stay O(delta) (a ≥ 100× smaller
 payload than the network, required on every host), and batch/serial
-loadings must agree to ≤ 1e-9.  On smaller hosts the numbers are still
-recorded (with the core count) but the scale-dependent gates are not
-evaluated.
+loadings must agree to ≤ 1e-9.  The PR-7 gate: the condensed Step 2 must
+match the reference final state to ≤ 1e-8 on every case (every host),
+shrink the WECC-scale exchange volume ≥ 5×, and — on ≥ 2 cores — reduce
+the warm WECC-scale Step-2 solve time.  On smaller hosts the numbers are
+still recorded (with the core count) but the scale-dependent gates are
+not evaluated.
 """
 
 from __future__ import annotations
@@ -58,6 +63,7 @@ from bench_batch_sweep import (  # noqa: E402
     measure_fork_cost,
     measure_sweep_throughput,
 )
+from bench_condensation import measure_condensation  # noqa: E402
 from bench_fault_overhead import measure_fault_overhead  # noqa: E402
 from bench_obs_overhead import measure_obs_overhead  # noqa: E402
 from bench_scaleout_throughput import (  # noqa: E402
@@ -79,7 +85,7 @@ from repro.grid import run_ac_power_flow  # noqa: E402
 from repro.grid.cases import case118  # noqa: E402
 from repro.measurements import full_placement, generate_measurements  # noqa: E402
 
-OUT = ROOT / "BENCH_pr6.json"
+OUT = ROOT / "BENCH_pr7.json"
 
 
 def _setup118():
@@ -287,6 +293,29 @@ def _batch_gate(sweep: dict, fork: dict, cores: int | None) -> tuple[bool, str]:
     return ok, f"{summary} (need >= 10.0x)"
 
 
+def _condensation_gate(cond: dict, cores: int | None) -> tuple[bool, str]:
+    """≤1e-8 condensed/reference parity on every case (every host), ≥5×
+    WECC-scale exchange-byte reduction (every host), and a measurable
+    WECC-scale warm Step-2 time reduction (≥2 cores — on a single core
+    the solve timings are swamped by scheduler jitter)."""
+    wecc = cond["wecc37"]
+    parity = max(
+        max(rec["max_abs_dVm"], rec["max_abs_dVa"]) for rec in cond.values()
+    )
+    summary = (
+        f"parity {parity:.1e}, wecc bytes {wecc['bytes_reduction']:.1f}x "
+        f"smaller, wecc step2 {wecc['step2_speedup']:.2f}x"
+    )
+    if parity > 1e-8:
+        return False, f"gate failed: parity worse than 1e-8 ({summary})"
+    if wecc["bytes_reduction"] < 5.0:
+        return False, f"gate failed: exchange reduction < 5x ({summary})"
+    if (cores or 1) < 2:
+        return True, f"time gate skipped: {cores} core(s) < 2 ({summary})"
+    ok = wecc["step2_speedup"] > 1.0
+    return ok, f"{summary} (need parity <= 1e-8, >= 5x bytes, > 1x step2)"
+
+
 def main() -> int:
     net, pf, dec, ms = _setup118()
 
@@ -345,8 +374,17 @@ def main() -> int:
     batch_ok, batch_msg = _batch_gate(sweep, fork_cost, os.cpu_count())
     print(f"  {batch_msg}")
 
+    print("running boundary condensation comparison (PR-7) ...")
+    condensation = measure_condensation()
+    for name, rec in condensation.items():
+        print(f"  {name:>8}: bytes {rec['bytes_reduction']:.2f}x smaller, "
+              f"step2 {rec['step2_speedup']:.2f}x, "
+              f"parity {max(rec['max_abs_dVm'], rec['max_abs_dVa']):.1e}")
+    cond_ok, cond_msg = _condensation_gate(condensation, os.cpu_count())
+    print(f"  {cond_msg}")
+
     payload = {
-        "pr": 6,
+        "pr": 7,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cores": os.cpu_count(),
@@ -364,6 +402,8 @@ def main() -> int:
         "fork_cost": fork_cost,
         "batch_sweep": sweep,
         "batch_sweep_gate": batch_msg,
+        "condensation": condensation,
+        "condensation_gate": cond_msg,
     }
     OUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT}")
@@ -381,8 +421,10 @@ def main() -> int:
         print(f"ACCEPTANCE FAILED: {fault_msg}")
     if not batch_ok:
         print(f"ACCEPTANCE FAILED: {batch_msg}")
+    if not cond_ok:
+        print(f"ACCEPTANCE FAILED: {cond_msg}")
     all_ok = (ok and scaleout_ok and fastpath_ok and obs_ok and fault_ok
-              and batch_ok)
+              and batch_ok and cond_ok)
     return 0 if all_ok else 1
 
 

@@ -33,4 +33,7 @@ python examples/chaos_demo.py
 echo "== batch sweep smoke (copy-on-write forks + SIMD batch solves) =="
 python examples/batch_sweep.py
 
+echo "== condensed DSE smoke (Schur-reduced Step-2 exchange and solve) =="
+python examples/condensed_dse.py
+
 echo "verify: OK"

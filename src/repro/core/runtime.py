@@ -28,7 +28,13 @@ from ..dse.decomposition import Decomposition
 from ..estimation.wls import WlsEstimator
 from ..measurements.types import MeasurementSet
 from ..middleware.errors import ClientClosed, MiddlewareError
-from ..middleware.message import FrameError, pack_state_update, unpack_state_update
+from ..middleware.message import (
+    FrameError,
+    pack_condensed_update,
+    pack_state_update,
+    unpack_condensed_update,
+    unpack_state_update,
+)
 from ..middleware.router import MiddlewareFabric
 
 __all__ = ["LiveSiteStats", "LiveDseResult", "LiveDseRuntime"]
@@ -110,6 +116,15 @@ class LiveDseRuntime:
         duplex links, batched neighbour sends) instead of one relay
         pipeline per pair.  Same bytes on the wire, same barrier schedule
         — the result stays bit-identical to the in-process DSE either way.
+    condense:
+        Condensed Step 2 (see
+        :class:`~repro.dse.algorithm.DistributedStateEstimator`): each
+        site solves the boundary-condensed system and the wire carries
+        compact per-neighbour boundary blocks
+        (:func:`~repro.middleware.message.pack_condensed_update`) — bus
+        ids ride only the round-0 frames, later rounds are values-only
+        over the receiver's a-priori ordering.  Requires
+        ``use_cache=True``.
     """
 
     def __init__(
@@ -124,13 +139,20 @@ class LiveDseRuntime:
         round_deadline: float | None = None,
         use_cache: bool = True,
         fast: bool = True,
+        condense: bool = False,
     ):
+        if condense and not use_cache:
+            raise ValueError(
+                "condense=True requires use_cache=True (the condensed "
+                "operator lives in the per-site caches)"
+            )
         # Reuse the in-process DSE's subproblem construction and checks
         # (including its per-subsystem estimator caches).
         self._dse = DistributedStateEstimator(
             dec, mset, solver=solver,
             sensitivity_threshold=sensitivity_threshold,
             reuse_structures=use_cache,
+            condense=condense,
         )
         self.dec = dec
         self.solver = solver
@@ -139,6 +161,7 @@ class LiveDseRuntime:
         self.use_tcp = use_tcp
         self.use_cache = use_cache
         self.fast = fast
+        self.condense = condense
 
     # ------------------------------------------------------------------
     def run(
@@ -207,6 +230,7 @@ class LiveDseRuntime:
             known_vm: dict[int, float] = {}
             known_va: dict[int, float] = {}
             prev2 = None  # previous round's extended solution (warm start)
+            lin0 = None  # frame linearization point (condensed mode)
 
             # ---- Step 1 ----
             t0 = time.perf_counter()
@@ -237,20 +261,35 @@ class LiveDseRuntime:
                         if self.round_deadline is None
                         else time.monotonic() + self.round_deadline
                     )
-                    payload = pack_state_update(
-                        publish.astype(np.int64),
-                        np.array([vm_loc[int(b)] for b in publish]),
-                        np.array([va_loc[int(b)] for b in publish]),
-                    )
+                    if self.condense:
+                        # Per-neighbour condensed boundary blocks: each
+                        # neighbour gets only the tie-endpoint buses its
+                        # extended network reads.  Round 0 carries the bus
+                        # ids; later rounds are values-only over the
+                        # receiver's a-priori ordering.
+                        parts = []
+                        for nb in nbrs:
+                            ids = self._dse._nbr_pub[s][nb]
+                            parts.append((f"se{nb}", pack_condensed_update(
+                                s, ids,
+                                np.array([vm_loc[int(b)] for b in ids]),
+                                np.array([va_loc[int(b)] for b in ids]),
+                                values_only=r > 0,
+                            )))
+                    else:
+                        payload = pack_state_update(
+                            publish.astype(np.int64),
+                            np.array([vm_loc[int(b)] for b in publish]),
+                            np.array([va_loc[int(b)] for b in publish]),
+                        )
+                        parts = [(f"se{nb}", payload) for nb in nbrs]
                     # the whole neighbour burst rides one syscall on the
                     # fast plane (legacy falls back to per-pipeline sends);
                     # sending inside the span stamps the frames with this
                     # trace's context, so the router hop joins the trace
                     try:
-                        fabric.send_many(
-                            f"se{s}", [(f"se{nb}", payload) for nb in nbrs]
-                        )
-                        st.bytes_sent += len(payload) * len(nbrs)
+                        fabric.send_many(f"se{s}", parts)
+                        st.bytes_sent += sum(len(p) for _, p in parts)
                     except (MiddlewareError, ConnectionError, OSError) as exc:
                         # this site is cut off from the fabric; keep
                         # solving on last-known values, flag the round
@@ -297,10 +336,25 @@ class LiveDseRuntime:
                             # views over the wire buffer; values are copied
                             # into the known_* dicts below, so no aliasing
                             # escapes
-                            ids, vms, vas = unpack_state_update(
-                                raw, copy=False
-                            )
-                        except (FrameError, ValueError) as exc:
+                            if self.condense:
+                                src_id, _vo, ids, vms, vas = (
+                                    unpack_condensed_update(raw, copy=False)
+                                )
+                                if ids is None:
+                                    # values-only frame: resolve the bus
+                                    # ids from the shared a-priori
+                                    # per-neighbour publication sets
+                                    ids = self._dse._nbr_pub[int(src_id)][s]
+                                    if len(ids) != len(vms):
+                                        raise FrameError(
+                                            "condensed update length "
+                                            "mismatch"
+                                        )
+                            else:
+                                ids, vms, vas = unpack_state_update(
+                                    raw, copy=False
+                                )
+                        except (FrameError, ValueError, KeyError) as exc:
                             # corrupted in flight; the neighbour's update
                             # is lost for this round
                             with err_lock:
@@ -322,7 +376,8 @@ class LiveDseRuntime:
 
                 # pseudo measurements at the external boundary buses we know
                 ext_known = [int(b) for b in ext if int(b) in known_vm]
-                if self.use_cache and len(ext_known) == len(ext):
+                cached_path = self.use_cache and len(ext_known) == len(ext)
+                if cached_path:
                     # Full neighbour coverage: refill the cached merged
                     # structure's pseudo values instead of rebuilding.
                     est2, z_tmpl, rows_vm, rows_va, src, rows_ms2 = (
@@ -372,10 +427,23 @@ class LiveDseRuntime:
                             x0_vm[i], x0_va[i] = vm_loc[b], va_loc[b]
                         elif b in known_vm:
                             x0_vm[i], x0_va[i] = known_vm[b], known_va[b]
+                    if self.condense:
+                        # Round 0's start is the frame's Step-1 publication
+                        # over the extended network — the same history-free
+                        # linearization point the in-process DSE condenses
+                        # at, so the operators (and the results) match.
+                        lin0 = (x0_vm.copy(), x0_va.copy())
 
+                kwargs = (
+                    {"lin_point": lin0}
+                    if self.condense and cached_path and lin0 is not None
+                    else {}
+                )
                 t0 = time.perf_counter()
                 with obs.span("live.step2", s=s, round=r):
-                    res2 = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+                    res2 = est2.estimate(
+                        x0=(x0_vm, x0_va), tol=tol, z=z2, **kwargs
+                    )
                 st.step2_times.append(time.perf_counter() - t0)
                 prev2 = res2
 

@@ -25,7 +25,7 @@ from ..dse.algorithm import BYTES_PER_EXCHANGED_BUS, DistributedStateEstimator
 from ..dse.sensitivity import exchange_bus_sets
 from ..measurements.types import MeasurementSet
 from ..middleware.errors import ClientClosed, MiddlewareError
-from ..middleware.message import pack_state_update
+from ..middleware.message import pack_condensed_update, pack_state_update
 from ..parallel import make_executor
 from .architecture import ArchitecturePrototype
 from .noise import NoiseLevelEstimator
@@ -49,9 +49,11 @@ class DseSession:
         Fan-out backend for the per-subsystem solves (see
         :class:`repro.parallel.SubsystemExecutor`); shared by every frame's
         DSE run.
-    reuse_structures, warm_start, degrade_on_failure:
+    reuse_structures, warm_start, degrade_on_failure, condense:
         Hot-path / robustness knobs forwarded to
-        :class:`~repro.dse.algorithm.DistributedStateEstimator`.
+        :class:`~repro.dse.algorithm.DistributedStateEstimator`
+        (``condense`` switches Step 2 to the Schur-complement condensed
+        mode: boundary-sized solves, compact per-neighbour wire frames).
     fabric_timeout:
         Receive timeout (seconds) while draining the live middleware
         exchange.  A site that misses updates — dead peer, dropped or
@@ -70,6 +72,7 @@ class DseSession:
         reuse_structures: bool = True,
         warm_start: bool = True,
         degrade_on_failure: bool = False,
+        condense: bool = False,
         fabric_timeout: float = 5.0,
     ):
         if bad_data_policy not in ("off", "detect", "identify"):
@@ -82,6 +85,7 @@ class DseSession:
         self.reuse_structures = reuse_structures
         self.warm_start = warm_start
         self.degrade_on_failure = degrade_on_failure
+        self.condense = condense
         self.fabric_timeout = fabric_timeout
         self.noise_estimator = NoiseLevelEstimator(arch.net)
         self.exchange_sets = exchange_bus_sets(
@@ -185,6 +189,7 @@ class DseSession:
             reuse_structures=self.reuse_structures,
             warm_start=self.warm_start,
             degrade_on_failure=self.degrade_on_failure,
+            condense=self.condense,
         )
         result = dse.run(rounds=rounds, x0=warm)
         wall_elapsed = time.perf_counter() - wall_t0
@@ -199,7 +204,7 @@ class DseSession:
         # (5) optional: push real pseudo-measurement bytes through pipelines
         if arch.fabric is not None:
             with obs.span("session.fabric_exchange"):
-                degraded |= self._exercise_fabric(result)
+                degraded |= self._exercise_fabric(result, dse)
 
         # (6) replay on the simulated testbed
         with obs.span("session.replay_sim"):
@@ -236,8 +241,13 @@ class DseSession:
         return report
 
     # ------------------------------------------------------------------
-    def _exercise_fabric(self, result) -> set[int]:
+    def _exercise_fabric(self, result, dse) -> set[int]:
         """Move each subsystem's exchange set through the live pipelines.
+
+        Under ``condense`` the payloads are the compact per-neighbour
+        condensed frames (matching what the DSE's byte accounting
+        charges); otherwise each subsystem's full exchange set rides a
+        legacy state-update frame to every neighbour.
 
         Fault-tolerant: a site whose sends fail is cut off from the fabric
         and marked degraded; a site that cannot collect its full neighbour
@@ -254,6 +264,11 @@ class DseSession:
                 dec.net.bus_ids[pub], result.Vm[pub], result.Va[pub]
             )
             for nb in dec.neighbors(s):
+                if self.condense:
+                    ids = dse._nbr_pub[s][int(nb)]
+                    payload = pack_condensed_update(
+                        s, ids, result.Vm[ids], result.Va[ids]
+                    )
                 try:
                     arch.fabric.send(f"se{s}", f"se{int(nb)}", payload)
                 except (MiddlewareError, ConnectionError, OSError):
@@ -308,8 +323,11 @@ class DseSession:
             msgs = []
             for s in range(dec.m):
                 rec = result.records[s]
-                per_neighbor = rec.exchange_size * BYTES_PER_EXCHANGED_BUS
-                for nb in dec.neighbors(s):
+                # Actual packed bytes this subsystem put on the wire in
+                # round r (condensation-aware), split per neighbour.
+                nbrs = dec.neighbors(s)
+                per_neighbor = rec.bytes_sent_per_round[r] // max(1, len(nbrs))
+                for nb in nbrs:
                     src = map2.cluster_of(s)
                     dst = map2.cluster_of(int(nb))
                     if src != dst:

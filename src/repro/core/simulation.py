@@ -18,7 +18,7 @@ from ..cluster.costmodel import MiddlewareCostModel
 from ..cluster.simevent import SimEngine, Timeout
 from ..cluster.simmpi import SimComm
 from ..cluster.topology import ClusterTopology
-from ..dse.algorithm import BYTES_PER_EXCHANGED_BUS, DseResult
+from ..dse.algorithm import DseResult
 from ..dse.decomposition import Decomposition
 from .mapper import Mapping
 
@@ -80,7 +80,6 @@ def simulate_dse_message_level(
     def estimator_proc(s: int):
         rec = result.records[s]
         nbrs = [int(b) for b in dec.neighbors(s)]
-        exchange_bytes = rec.exchange_size * BYTES_PER_EXCHANGED_BUS
 
         # ---- DSE Step 1: local estimation ----
         yield Timeout(rec.step1_time)
@@ -89,6 +88,9 @@ def simulate_dse_message_level(
 
         # ---- DSE Step 2 rounds ----
         for r in range(result.rounds):
+            # actual packed bytes this subsystem put on the wire in
+            # round r (condensation-aware), split per neighbour
+            exchange_bytes = rec.bytes_sent_per_round[r] // max(1, len(nbrs))
             # publish this round's solution to every neighbour
             for nb in nbrs:
                 extra = 0.0

@@ -11,6 +11,7 @@ from .algorithm import (
     DseResult,
     SubsystemRecord,
 )
+from .condensation import CondensedStep2, neighbor_publication_sets
 from .decomposition import (
     Decomposition,
     decompose,
@@ -50,6 +51,8 @@ __all__ = [
     "DseResult",
     "SubsystemRecord",
     "BYTES_PER_EXCHANGED_BUS",
+    "CondensedStep2",
+    "neighbor_publication_sets",
     "HierarchicalStateEstimator",
     "HierarchicalResult",
     "distributed_bad_data",

@@ -30,7 +30,9 @@ from .. import obs
 from ..estimation.results import EstimationResult
 from ..estimation.wls import WlsEstimator
 from ..measurements.types import _TYPE_ORDER, MeasType, MeasurementSet
+from ..middleware.message import condensed_update_nbytes, state_update_nbytes
 from ..parallel import SubsystemExecutor, make_executor, worker_context
+from .condensation import CondensedStep2, neighbor_publication_sets
 from .decomposition import Decomposition, extract_subnetwork
 from .pseudo import (
     assign_measurements,
@@ -62,13 +64,16 @@ def _localized_perm(
     frame update needs this mapping to scatter fresh ``z`` values into the
     cached local structures without rebuilding them.
     """
-    n = len(rows)
-    tidx = np.empty(n, dtype=np.int64)
-    elem = np.empty(n, dtype=np.int64)
-    for i, row in enumerate(rows):
-        m = mset[int(row)]
-        tidx[i] = _TYPE_POS[m.mtype]
-        elem[i] = bus_map[m.element] if m.mtype.is_bus else branch_map[m.element]
+    rows = np.asarray(rows, dtype=np.int64)
+    tpos, elem_glob, is_bus = mset.column_arrays()
+    tidx = tpos[rows]
+    eg = elem_glob[rows]
+    mask = is_bus[rows]
+    elem = np.empty(len(rows), dtype=np.int64)
+    # Gather per referent kind: a branch index may exceed len(bus_map)
+    # (and vice versa), so the two maps cannot be applied unmasked.
+    elem[mask] = bus_map[eg[mask]]
+    elem[~mask] = branch_map[eg[~mask]]
     return np.lexsort((elem, tidx))
 
 
@@ -111,14 +116,18 @@ def _dse_step1_task(args):
 
 
 def _dse_step2_task(args):
-    key, s, z2, x0_vm, x0_va, tol, octx, degrade = args
+    key, s, z2, x0_vm, x0_va, tol, octx, degrade, lin = args
     dse = worker_context(key)
     est2 = dse._step2_cache[s][0]
     rec = obs.remote_recorder(octx)
     t0 = time.perf_counter()
+    # The linearization point travels with every task (not just the first)
+    # because a worker may first touch subsystem ``s`` on any round — the
+    # condensed operator must not depend on call history.
+    kwargs = {} if lin is None else {"lin_point": lin}
     with rec.span("dse.step2.subsystem", s=s):
         try:
-            res = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+            res = est2.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2, **kwargs)
         except Exception as exc:
             if not degrade:
                 raise
@@ -143,6 +152,14 @@ class SubsystemRecord:
     #: (only possible with ``degrade_on_failure=True``)
     degraded: bool = False
     failures: list[str] = field(default_factory=list)
+    #: Step 2 ran in condensed (Schur-complement) mode
+    condensed: bool = False
+    #: states in the condensed boundary block / eliminated interior block
+    n_boundary_states: int = 0
+    n_interior_states: int = 0
+    #: wall time spent condensing the gain operator (in-process executors;
+    #: process-pool factorizations happen inside the warm workers)
+    factor_time: float = 0.0
 
     @property
     def exchange_size(self) -> int:
@@ -227,6 +244,17 @@ class DistributedStateEstimator:
         failure — and the run completes with the subsystem listed in
         ``DseResult.degraded_subsystems`` and the error text on its
         :class:`SubsystemRecord`.
+    condense:
+        Off by default (full extended re-evaluation, the reference path).
+        When on, each subsystem's extended gain matrix is condensed onto
+        its boundary buses via a Schur complement
+        (:class:`~repro.dse.condensation.CondensedStep2`) — factored once
+        per frame topology and reused across rounds and frames — so each
+        Step-2 round solves a boundary-sized system and back-substitutes
+        interior states locally, and each round exchanges only compact
+        per-neighbour boundary blocks (the condensed wire form of
+        :mod:`repro.middleware.message`).  Requires
+        ``reuse_structures=True``.
     """
 
     def __init__(
@@ -242,9 +270,15 @@ class DistributedStateEstimator:
         reuse_structures: bool = True,
         warm_start: bool = True,
         degrade_on_failure: bool = False,
+        condense: bool = False,
     ):
         if update_scope not in ("exchange", "all"):
             raise ValueError("update_scope must be 'exchange' or 'all'")
+        if condense and not reuse_structures:
+            raise ValueError(
+                "condense=True requires reuse_structures=True (the condensed "
+                "operator lives in the per-subsystem caches)"
+            )
         self.dec = dec
         self.mset = mset
         self.solver = solver
@@ -254,8 +288,10 @@ class DistributedStateEstimator:
         self.reuse_structures = reuse_structures
         self.warm_start = warm_start
         self.degrade_on_failure = degrade_on_failure
+        self.condense = condense
         self.assignment = assign_measurements(dec, mset)
         self.exchange_sets = exchange_bus_sets(dec, threshold=sensitivity_threshold)
+        self._nbr_pub = neighbor_publication_sets(dec) if condense else None
         self._worker_token: str | None = None
 
         if auto_anchor:
@@ -324,6 +360,11 @@ class DistributedStateEstimator:
             rows_va = rows_pseudo[pseudo0.rows(MeasType.PMU_VA)]
             src = ext[order]  # global buses aligned with the sorted rows
             est2 = WlsEstimator(subnet2, full0, solver=self.solver)
+            if self.condense:
+                # Coupling set: own boundary + external boundary buses;
+                # everything else is eliminated onto it once per topology.
+                bnd_local = bmap2[np.concatenate([dec.boundary_buses(s), ext])]
+                est2 = CondensedStep2(est2, bnd_local)
             self._step2_cache[s] = (est2, full0.z, rows_vm, rows_va, src, rows_ms2)
             # Values-only frame support: permutations taking global-row z
             # slices into the canonical order of the localized sets.
@@ -393,6 +434,7 @@ class DistributedStateEstimator:
                         self.solver,
                         self.update_scope,
                         float(self.sensitivity_threshold),
+                        bool(self.condense),
                     )
                 )
             )
@@ -418,10 +460,30 @@ class DistributedStateEstimator:
                     update_scope=self.update_scope,
                     reuse_structures=True,
                     warm_start=False,
+                    condense=self.condense,
                 ),
             ),
         )
         return key
+
+    # ------------------------------------------------------------------
+    def _round_wire_bytes(self, s: int, rnd: int) -> int:
+        """Actual packed payload bytes subsystem ``s`` puts on the wire in
+        Step-2 round ``rnd`` — the exact frame sizes the live fabric
+        sends (:func:`~repro.middleware.message.pack_state_update` /
+        :func:`~repro.middleware.message.pack_condensed_update`), so
+        in-process and live-runtime byte accounting agree byte-for-byte.
+        """
+        if self.condense:
+            # Per-neighbour boundary blocks; round 0 carries the bus ids,
+            # later rounds are values-only over the cached ordering.
+            return sum(
+                condensed_update_nbytes(len(ids), values_only=rnd > 0)
+                for ids in self._nbr_pub[s].values()
+            )
+        return state_update_nbytes(len(self.exchange_sets[s])) * len(
+            self.dec.neighbors(s)
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -451,8 +513,16 @@ class DistributedStateEstimator:
             sp.set_attr("rounds", result.rounds)
             sp.set_attr("bytes_exchanged", result.total_bytes_exchanged)
         reg = obs.metrics()
+        mode = "condensed" if self.condense else "reference"
         reg.counter("dse.frames_total").inc()
         reg.counter("dse.bytes_exchanged_total").inc(result.total_bytes_exchanged)
+        reg.counter("dse.exchange_bytes", mode=mode).inc(
+            result.total_bytes_exchanged
+        )
+        solve_hist = reg.histogram("dse.step2.solve.seconds", mode=mode)
+        for rec in result.records.values():
+            for dt in rec.step2_times:
+                solve_hist.observe(dt)
         reg.histogram("dse.frame.seconds").observe(time.perf_counter() - t0)
         return result
 
@@ -494,6 +564,14 @@ class DistributedStateEstimator:
             )
             for s in range(dec.m)
         }
+        factor_t0: dict[int, float] = {}
+        if self.condense:
+            for s, rec in records.items():
+                cond = self._step2_cache[s][0]
+                rec.condensed = True
+                rec.n_boundary_states = cond.n_boundary_states
+                rec.n_interior_states = cond.n_interior_states
+                factor_t0[s] = cond.factor_time
 
         # Global state estimate, filled per subsystem.
         Vm = np.ones(net.n_bus)
@@ -562,6 +640,18 @@ class DistributedStateEstimator:
                 Vm[own] = res.Vm
                 Va[own] = res.Va
 
+        # Condensed mode: freeze each subsystem's gain operator at the
+        # frame's Step-1 publication (restricted to its extended network).
+        # The same arrays reach every executor with every Step-2 task, so
+        # all rounds of a frame share one factorization and results stay
+        # bit-identical between serial, threaded and pooled runs.
+        lin_points: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
+        if self.condense:
+            lin_points = {
+                s: (Vm[self.sub2[s][2]].copy(), Va[self.sub2[s][2]].copy())
+                for s in range(dec.m)
+            }
+
         # ---- DSE Step 2 rounds: exchange + re-evaluate ----
         # Each round snapshots the published state, fans the per-subsystem
         # re-evaluations out through the executor (they only read the
@@ -593,7 +683,8 @@ class DistributedStateEstimator:
             if use_process:
                 items2 = [
                     (ctx_key, s, inputs[s][0], inputs[s][1], inputs[s][2], tol,
-                     octx, self.degrade_on_failure)
+                     octx, self.degrade_on_failure,
+                     lin_points[s] if lin_points is not None else None)
                     for s in range(dec.m)
                 ]
                 results = self.executor.map(_dse_step2_task, items2)
@@ -627,9 +718,16 @@ class DistributedStateEstimator:
                                 x0_vm = published_vm[xbuses]
                                 x0_va = published_va[xbuses]
 
+                        kwargs = (
+                            {"lin_point": lin_points[s]}
+                            if lin_points is not None
+                            else {}
+                        )
                         t0 = time.perf_counter()
                         try:
-                            res = est.estimate(x0=(x0_vm, x0_va), tol=tol, z=z2)
+                            res = est.estimate(
+                                x0=(x0_vm, x0_va), tol=tol, z=z2, **kwargs
+                            )
                         except Exception as exc:
                             if not self.degrade_on_failure:
                                 raise
@@ -651,19 +749,11 @@ class DistributedStateEstimator:
                     rec.degraded = True
                     rec.failures.append(f"step2 round {rnd}: {res.message}")
                     self._count_degraded_solve()
-                    rec.bytes_sent_per_round.append(
-                        rec.exchange_size
-                        * BYTES_PER_EXCHANGED_BUS
-                        * len(dec.neighbors(s))
-                    )
+                    rec.bytes_sent_per_round.append(self._round_wire_bytes(s, rnd))
                     continue
                 last2[s] = (res.Vm, res.Va)
                 rec.step2_results.append(res)
-                rec.bytes_sent_per_round.append(
-                    rec.exchange_size
-                    * BYTES_PER_EXCHANGED_BUS
-                    * len(dec.neighbors(s))
-                )
+                rec.bytes_sent_per_round.append(self._round_wire_bytes(s, rnd))
 
                 if self.update_scope == "all":
                     scope = dec.buses(s)
@@ -679,6 +769,15 @@ class DistributedStateEstimator:
                 Va[scope] = res.Va[local]
             step2_span.__exit__(None, None, None)
             round_deltas.append(delta)
+
+        if self.condense and not use_process:
+            # Condensation cost lives on the warm caches; surface this
+            # run's factorization time on the records (worker-side
+            # factorizations stay inside the process pool).
+            for s, rec in records.items():
+                rec.factor_time = (
+                    self._step2_cache[s][0].factor_time - factor_t0[s]
+                )
 
         # ---- Final step: solutions already aggregated in (Vm, Va) ----
         return DseResult(

@@ -1,0 +1,288 @@
+"""Schur-complement boundary condensation for DSE Step 2.
+
+The reference Step 2 re-evaluates each subsystem's *full* extended network
+every round, so the per-round solve scales with subsystem size even though
+only the boundary couples neighbours.  Condensation freezes the extended
+gain matrix ``G = Hᵀ W H`` at a canonical linearization point and
+eliminates the interior states onto the boundary once per frame topology
+(:class:`~repro.estimation.solvers.SchurGainSolver`):
+
+.. code-block:: text
+
+    S = G_BB − G_BI G_II⁻¹ G_IB          once per topology
+    dx_B = S⁻¹ (rhs_B − G_IBᵀ G_II⁻¹ rhs_I)   per iteration (boundary-sized)
+    dx_I = G_II⁻¹ rhs_I − W dx_B              local back-substitution
+
+Each iteration still evaluates the *exact* residual and Jacobian at the
+current state — ``rhs = H(x)ᵀ W (z − h(x))`` — so the fixed point of the
+iteration is the exact WLS stationary point (``H(x*)ᵀ W r(x*) = 0``);
+freezing only the gain operator turns Gauss-Newton into a quasi-Newton
+scheme with linear convergence near the solution.  The iteration is run
+to a tighter internal tolerance to keep final-state parity with the
+reference path at ≤1e-8, and falls back to the exact reference solve on
+the rare frame where the frozen operator does not contract fast enough.
+
+The linearization point must be *history-free* for the repo's
+bit-identical-across-executors property to survive condensation: a process
+worker may first touch a subsystem's cache on any round, so an operator
+frozen "at the first state seen" would differ between serial and pooled
+runs.  The DSE therefore passes the frame's Step-1 publication (restricted
+to the extended network) as an explicit ``lin_point`` with every call —
+the same arrays on every executor — and :class:`CondensedStep2` refactors
+only when the point actually changes (exact array match), so all rounds of
+a frame share one factorization, repeated identical frames reuse it, and
+tracking frames refactor once per frame.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import obs
+from ..estimation.results import EstimationResult
+from ..estimation.solvers import GainSolveError, SchurGainSolver
+from ..estimation.wls import EstimationError, WlsEstimator
+from .decomposition import Decomposition
+
+__all__ = ["CondensedStep2", "neighbor_publication_sets"]
+
+
+def neighbor_publication_sets(dec: Decomposition) -> dict[int, dict[int, np.ndarray]]:
+    """Per-neighbour condensed publication sets.
+
+    ``out[s][n]`` holds the sorted global buses of subsystem ``s`` that are
+    endpoints of ``s``–``n`` tie lines — exactly the subset of ``s``'s
+    boundary that appears in ``n``'s extended network, i.e. everything
+    ``n``'s Step-2 solve can consume from ``s``.  Sensitive-internal
+    publications only refresh ``s``'s *own* entries in the global state
+    (an update-scope concern) and are never read by a neighbour's solve,
+    so under condensation they stay off the wire.
+    """
+    net = dec.net
+    out: dict[int, dict[int, np.ndarray]] = {}
+    for s in range(dec.m):
+        ties = dec.incident_tie_lines(s)
+        f, t = net.f[ties], net.t[ties]
+        f_ours = dec.part[f] == s
+        ours = np.where(f_ours, f, t)
+        theirs = np.where(f_ours, t, f)
+        out[s] = {
+            int(nb): np.unique(ours[dec.part[theirs] == nb])
+            for nb in dec.neighbors(s)
+        }
+    return out
+
+
+class CondensedStep2:
+    """Condensed drop-in for the cached Step-2 :class:`WlsEstimator`.
+
+    Wraps the warm extended-network estimator of one subsystem and exposes
+    the same ``estimate(x0=, tol=, z=)`` call surface, so the in-process
+    algorithm, the process-pool task functions and the live runtime use it
+    unchanged through ``_step2_cache``.
+
+    Parameters
+    ----------
+    est:
+        The subsystem's cached extended-network estimator (owns the
+        Jacobian pattern caches the condensed iteration reuses).
+    boundary_buses_local:
+        Local bus indices of the coupling set — the subsystem's own
+        boundary buses plus the external boundary buses; both of each
+        bus's states (Va, Vm) become boundary states of the Schur split.
+    inner_tol_scale:
+        The frozen-gain iteration stops on ``step < tol * inner_tol_scale``
+        (tighter than the reference's ``step < tol``) so its linear tail
+        still lands within reference parity.
+    max_iter:
+        Iteration cap for the linearly-convergent frozen-gain loop
+        (higher than Gauss-Newton's since each iteration is much cheaper);
+        on hitting the cap without converging the call falls back to the
+        wrapped reference estimator.
+    """
+
+    def __init__(
+        self,
+        est: WlsEstimator,
+        boundary_buses_local: np.ndarray,
+        *,
+        inner_tol_scale: float = 0.1,
+        max_iter: int = 150,
+    ):
+        self.est = est
+        n = est.net.n_bus
+        pos = -np.ones(2 * n, dtype=np.int64)
+        pos[est._keep] = np.arange(est.n_states)
+        b = np.unique(np.asarray(boundary_buses_local, dtype=np.int64))
+        cand = np.concatenate([b, n + b])  # Va states, then Vm states
+        bpos = pos[cand]
+        self.boundary_states = np.sort(bpos[bpos >= 0])
+        self.schur = SchurGainSolver(self.boundary_states, est.n_states)
+        self.inner_tol_scale = float(inner_tol_scale)
+        self.max_iter = int(max_iter)
+        self.factor_time = 0.0
+        self.factor_count = 0
+        self.fallbacks = 0
+        self._lin_cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    # -- sizes ----------------------------------------------------------
+    @property
+    def n_boundary_states(self) -> int:
+        return self.schur.n_boundary
+
+    @property
+    def n_interior_states(self) -> int:
+        return self.schur.n_interior
+
+    # ------------------------------------------------------------------
+    def factor(
+        self, Vm: np.ndarray | None = None, Va: np.ndarray | None = None
+    ) -> None:
+        """Condense the gain operator at the given linearization point.
+
+        Defaults to the subnetwork's case voltage profile (the only
+        history-free point available without caller input).  The DSE
+        instead passes the frame's Step-1 publication through
+        :meth:`estimate`'s ``lin_point``, which lands here via
+        :meth:`_ensure_factored`.
+        """
+        est = self.est
+        if Vm is None:
+            Vm = est.net.Vm0
+        if Va is None:
+            Va = est.net.Va0
+        t0 = time.perf_counter()
+        H = est._jacobian_at(
+            np.asarray(Vm, dtype=float), np.asarray(Va, dtype=float)
+        )
+        self.schur.factor(H, est.mset.weights)
+        self.factor_time += time.perf_counter() - t0
+        self.factor_count += 1
+        if obs.enabled():
+            obs.metrics().counter("dse.condensation.factorizations_total").inc()
+
+    def _ensure_factored(
+        self, lin_point: tuple[np.ndarray, np.ndarray] | None
+    ) -> None:
+        """Factor on demand; with a ``lin_point``, refactor only when the
+        point differs from the cached one (exact match), so every round of
+        a frame — on any executor — shares the identical operator and
+        repeated identical frames skip the refactorization entirely."""
+        if lin_point is None:
+            if not self.schur.factored:
+                self.factor()
+            return
+        vm, va = lin_point
+        cached = self._lin_cache
+        if (
+            cached is not None
+            and np.array_equal(cached[0], vm)
+            and np.array_equal(cached[1], va)
+        ):
+            return
+        self.factor(vm, va)
+        self._lin_cache = (
+            np.array(vm, dtype=float, copy=True),
+            np.array(va, dtype=float, copy=True),
+        )
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        *,
+        x0: tuple[np.ndarray, np.ndarray] | None = None,
+        tol: float = 1e-8,
+        max_iter: int | None = None,
+        reference_angle: float = 0.0,
+        z: np.ndarray | None = None,
+        lin_point: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> EstimationResult:
+        """Frozen-gain iteration over the condensed operator.
+
+        Mirrors :meth:`WlsEstimator.estimate` (same signature, same
+        :class:`EstimationResult`) plus ``lin_point`` — the linearization
+        point to condense at (refactors only when it changes); raises
+        :class:`EstimationError` on a failed solve.
+        """
+        est = self.est
+        net, model, ms = est.net, est.model, est.mset
+        n = net.n_bus
+        if z is None:
+            z = ms.z
+        elif len(z) != len(ms):
+            raise ValueError("z override length mismatch")
+        self._ensure_factored(lin_point)
+
+        if x0 is None:
+            Vm = np.ones(n)
+            Va = np.full(n, reference_angle)
+        else:
+            Vm, Va = x0[0].copy(), x0[1].copy()
+        if not est.has_pmu_angles:
+            Va[est.reference_bus] = reference_angle
+
+        t_start = time.perf_counter() if obs.enabled() else 0.0
+        w = ms.weights
+        inner_tol = tol * self.inner_tol_scale
+        limit = self.max_iter if max_iter is None else max_iter
+        step_norms: list[float] = []
+        converged = False
+        it = 0
+        r = z - model.h(Vm, Va)
+        for it in range(1, limit + 1):
+            H = est._jacobian_at(Vm, Va)
+            # Exact gradient at the current state; only the (frozen,
+            # condensed) gain operator is approximate.
+            rhs = H.T @ (w * r)
+            try:
+                dx = self.schur.solve(rhs)
+            except GainSolveError as exc:
+                raise EstimationError(
+                    f"condensed normal-equation solve failed: {exc}"
+                ) from exc
+            full_dx = np.zeros(2 * n)
+            full_dx[est._keep] = dx
+            Va += full_dx[:n]
+            Vm += full_dx[n:]
+            r = z - model.h(Vm, Va)
+            step = float(np.max(np.abs(dx))) if len(dx) else 0.0
+            step_norms.append(step)
+            if step < inner_tol:
+                converged = True
+                break
+            if not np.isfinite(step) or step > 1e3:
+                # Diverging (frozen operator far from contracting): stop
+                # burning iterations and take the fallback below.
+                break
+
+        if not converged:
+            # Stiff frame: the frozen operator is not contracting fast
+            # enough.  Fall back to the exact reference solve — itself a
+            # deterministic function of the same (x0, z, tol) inputs, so
+            # parity and cross-executor determinism survive the fallback.
+            self.fallbacks += 1
+            if obs.enabled():
+                obs.metrics().counter("dse.condensation.fallbacks_total").inc()
+            return est.estimate(
+                x0=x0, tol=tol, reference_angle=reference_angle, z=z
+            )
+
+        objective = float(r @ (w * r))
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.histogram("wls.estimate.seconds", solver="schur").observe(
+                time.perf_counter() - t_start
+            )
+            reg.counter("wls.iterations_total", solver="schur").inc(it)
+        return EstimationResult(
+            converged=True,
+            iterations=it,
+            Vm=Vm,
+            Va=Va,
+            residuals=r,
+            objective=objective,
+            dof=len(ms) - est.n_states,
+            step_norms=step_norms,
+        )

@@ -23,7 +23,7 @@ from ..estimation.results import EstimationResult
 from ..estimation.wls import WlsEstimator
 from ..measurements.functions import MeasurementModel
 from ..measurements.types import MeasType, MeasurementSet
-from .algorithm import BYTES_PER_EXCHANGED_BUS
+from ..middleware.message import state_update_nbytes
 from .decomposition import Decomposition, extract_subnetwork
 from .pseudo import assign_measurements, localize_measurements
 
@@ -133,10 +133,13 @@ class HierarchicalStateEstimator:
         coord_time = time.perf_counter() - t0
 
         Va = Va + alpha[dec.part]
+        # Uplink accounting uses the same packed-frame sizes as the DSE's
+        # wire accounting: one state-update frame of boundary states per
+        # subsystem plus one frame's worth of coordination rows.
         bytes_up = sum(
-            (len(dec.boundary_buses(s))) * BYTES_PER_EXCHANGED_BUS
+            state_update_nbytes(len(dec.boundary_buses(s)))
             for s in range(dec.m)
-        ) + len(coord_rows) * BYTES_PER_EXCHANGED_BUS
+        ) + state_update_nbytes(len(coord_rows))
 
         return HierarchicalResult(
             Vm=Vm,

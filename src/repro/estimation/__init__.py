@@ -29,6 +29,7 @@ from .solvers import (
     BatchGainSolver,
     GainSolveError,
     GainSolver,
+    SchurGainSolver,
     build_gain,
     solve_normal_equations,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "EstimationResult",
     "GainSolveError",
     "GainSolver",
+    "SchurGainSolver",
     "build_gain",
     "solve_normal_equations",
     "PcgResult",

@@ -20,6 +20,7 @@ later iterations skip the ordering phase and only refactor numerics.
 from __future__ import annotations
 
 import numpy as np
+import scipy.linalg as sla
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
@@ -29,6 +30,7 @@ __all__ = [
     "BatchGainSolver",
     "GainSolveError",
     "GainSolver",
+    "SchurGainSolver",
     "build_gain",
     "solve_normal_equations",
 ]
@@ -213,6 +215,159 @@ class BatchGainSolver:
         if not np.all(np.isfinite(dx)):
             raise GainSolveError("batched gain solve produced non-finite step")
         return dx.reshape(K, ns)
+
+
+class SchurGainSolver:
+    """Schur-complement gain solver: eliminate interior states once, then
+    every solve costs one interior backsolve plus one dense boundary solve.
+
+    Splitting the reduced state into interior ``I`` and boundary ``B``
+    blocks, :meth:`factor` condenses the gain matrix ``G = Hᵀ W H``:
+
+    .. code-block:: text
+
+        G_II = L U                sparse LU (cached fill-reducing ordering)
+        W    = G_II⁻¹ G_IB        dense |I| × |B| back-substitution operator
+        S    = G_BB − G_IBᵀ W     dense Schur complement (SPD → Cholesky)
+
+    and :meth:`solve` maps any right-hand side to the full step:
+
+    .. code-block:: text
+
+        u    = G_II⁻¹ rhs_I
+        dx_B = S⁻¹ (rhs_B − G_IBᵀ u)      boundary-sized system
+        dx_I = u − W dx_B                 local back-substitution
+
+    Like :class:`GainSolver`, the sparse factorization caches the
+    fill-reducing column ordering on first use and always refactors
+    through the NATURAL-order path, so cold and warm factorizations
+    perform bit-identical floating-point arithmetic — the property that
+    pins serial, thread-pool and process-pool DSE results to each other.
+    """
+
+    def __init__(self, boundary: np.ndarray, n_states: int):
+        boundary = np.unique(np.asarray(boundary, dtype=np.int64))
+        if len(boundary) and (boundary[0] < 0 or boundary[-1] >= n_states):
+            raise ValueError("boundary state index out of range")
+        self.boundary = boundary
+        self.n_states = int(n_states)
+        mask = np.ones(self.n_states, dtype=bool)
+        mask[boundary] = False
+        self.interior = np.flatnonzero(mask)
+        self._perm_c: np.ndarray | None = None
+        self._pattern: tuple | None = None
+        self._lu = None
+        self._S: tuple | None = None
+        self._W: np.ndarray | None = None
+        self._G_IB: sp.csc_matrix | None = None
+        self._factored = False
+
+    @property
+    def n_boundary(self) -> int:
+        return len(self.boundary)
+
+    @property
+    def n_interior(self) -> int:
+        return len(self.interior)
+
+    @property
+    def factored(self) -> bool:
+        return self._factored
+
+    # ------------------------------------------------------------------
+    def factor(self, H: sp.spmatrix, weights: np.ndarray) -> None:
+        """Condense ``G = Hᵀ W H`` onto the boundary block."""
+        G = build_gain(H, weights)
+        if G.shape[0] != self.n_states:
+            raise ValueError(
+                f"gain matrix order {G.shape[0]} != n_states {self.n_states}"
+            )
+        idx = np.concatenate([self.interior, self.boundary])
+        Gp = G[idx][:, idx].tocsc()
+        ni, nb = self.n_interior, self.n_boundary
+
+        if ni:
+            G_II = Gp[:ni, :ni].tocsc()
+            try:
+                if self._perm_c is None or not self._ii_pattern_matches(G_II):
+                    self._perm_c = spla.splu(G_II).perm_c.copy()
+                    self._pattern = (
+                        G_II.nnz, G_II.indptr.copy(), G_II.indices.copy()
+                    )
+                self._lu = spla.splu(
+                    G_II[:, self._perm_c], permc_spec="NATURAL"
+                )
+            except RuntimeError as exc:
+                raise GainSolveError(
+                    f"interior gain block is singular: {exc}"
+                ) from exc
+        else:
+            self._lu = None
+
+        if nb:
+            self._G_IB = Gp[:ni, ni:].tocsc()
+            S = Gp[ni:, ni:].toarray()
+            if ni:
+                self._W = self._solve_interior(self._G_IB.toarray())
+                S = S - self._G_IB.T @ self._W
+            else:
+                self._W = np.zeros((0, nb))
+            try:
+                self._S = sla.cho_factor(S, lower=True)
+            except (np.linalg.LinAlgError, ValueError) as exc:
+                raise GainSolveError(
+                    f"Schur complement is not positive definite: {exc}"
+                ) from exc
+        else:
+            self._G_IB = None
+            self._W = None
+            self._S = None
+        self._factored = True
+
+    def _ii_pattern_matches(self, G_II: sp.csc_matrix) -> bool:
+        pat = self._pattern
+        return (
+            pat is not None
+            and pat[0] == G_II.nnz
+            and np.array_equal(pat[1], G_II.indptr)
+            and np.array_equal(pat[2], G_II.indices)
+        )
+
+    def _solve_interior(self, b: np.ndarray) -> np.ndarray:
+        """``G_II⁻¹ b`` through the column-permuted NATURAL factorization
+        (``b`` may be a matrix of stacked right-hand sides)."""
+        y = self._lu.solve(b)
+        x = np.empty_like(y)
+        x[self._perm_c] = y
+        return x
+
+    # ------------------------------------------------------------------
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Map a full-order right-hand side to the full step ``dx``."""
+        if not self._factored:
+            raise GainSolveError("SchurGainSolver.solve before factor()")
+        if not np.all(np.isfinite(rhs)):
+            raise GainSolveError("non-finite right-hand side")
+        dx = np.empty(self.n_states)
+        u = (
+            self._solve_interior(rhs[self.interior])
+            if self.n_interior
+            else np.zeros(0)
+        )
+        if self.n_boundary:
+            rhs_b = rhs[self.boundary]
+            if self.n_interior:
+                rhs_b = rhs_b - self._G_IB.T @ u
+            if not np.all(np.isfinite(rhs_b)):
+                raise GainSolveError("non-finite condensed right-hand side")
+            dx_b = sla.cho_solve(self._S, rhs_b)
+            dx[self.boundary] = dx_b
+            if self.n_interior:
+                u = u - self._W @ dx_b
+        dx[self.interior] = u
+        if not np.all(np.isfinite(dx)):
+            raise GainSolveError("condensed solve produced non-finite step")
+        return dx
 
 
 def solve_normal_equations(

@@ -122,6 +122,7 @@ class MeasurementSet:
             row += len(ms)
         self.z = np.array([m.value for m in self._ordered], dtype=float)
         self.sigma = np.array([m.sigma for m in self._ordered], dtype=float)
+        self._columns: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -145,6 +146,29 @@ class MeasurementSet:
     def count(self, mtype: MeasType) -> int:
         """Number of measurements of a given type."""
         return len(self._idx[mtype])
+
+    def column_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full-length per-row columns ``(type_pos, element, is_bus)``.
+
+        ``type_pos[i]`` is the row's type position in ``_TYPE_ORDER``,
+        ``element[i]`` its bus/branch index and ``is_bus[i]`` the type's
+        referent kind — the struct-of-arrays view consumers use to process
+        row subsets vectorised instead of via per-row ``Measurement``
+        lookups.  Built once per set and cached (the set is immutable).
+        """
+        if self._columns is None:
+            n = len(self)
+            tpos = np.empty(n, dtype=np.int64)
+            elem = np.empty(n, dtype=np.int64)
+            isb = np.zeros(n, dtype=bool)
+            for i, t in enumerate(_TYPE_ORDER):
+                rows = self._rows[t]
+                tpos[rows] = i
+                elem[rows] = self._idx[t]
+                if t.is_bus:
+                    isb[rows] = True
+            self._columns = (tpos, elem, isb)
+        return self._columns
 
     @property
     def weights(self) -> np.ndarray:

@@ -50,6 +50,11 @@ __all__ = [
     "StreamReader",
     "pack_state_update",
     "unpack_state_update",
+    "COND_FLAG_VALUES_ONLY",
+    "pack_condensed_update",
+    "unpack_condensed_update",
+    "state_update_nbytes",
+    "condensed_update_nbytes",
 ]
 
 _LEN = struct.Struct(">Q")
@@ -373,3 +378,99 @@ def unpack_state_update(
     if copy:
         return bus_ids.copy(), Vm.copy(), Va.copy()
     return bus_ids, Vm, Va
+
+
+def state_update_nbytes(n: int) -> int:
+    """Exact wire size of ``pack_state_update`` for ``n`` buses."""
+    return _LEN.size + n * (8 + 8 + 8)
+
+
+# ----------------------------------------------------------------------
+# condensed boundary-update payloads
+# ----------------------------------------------------------------------
+#: condensed-update header: version, flags, source subsystem id, count
+_COND_HEADER = struct.Struct(">BBHI")
+COND_VERSION = 1
+#: the frame carries only (Vm, Va) values — the receiver already learned
+#: the bus ordering from this source's round-0 full frame (or knows it
+#: a priori from the decomposition)
+COND_FLAG_VALUES_ONLY = 0x01
+
+
+def condensed_update_nbytes(n: int, *, values_only: bool = False) -> int:
+    """Exact wire size of ``pack_condensed_update`` for ``n`` buses."""
+    per_bus = 16 if values_only else 20
+    return _COND_HEADER.size + n * per_bus
+
+
+def pack_condensed_update(
+    src: int,
+    bus_ids: np.ndarray,
+    Vm: np.ndarray,
+    Va: np.ndarray,
+    *,
+    values_only: bool = False,
+) -> bytearray:
+    """Pack a condensed boundary-block exchange record.
+
+    The condensed form is the Schur-reduced counterpart of
+    :func:`pack_state_update`: per neighbour it carries only the
+    tie-adjacent boundary buses (not the full exchange set), bus ids
+    shrink to ``uint32``, and after the first round the ordering is known
+    to the receiver so ``values_only=True`` drops the id block entirely —
+    8 + 16n bytes against the legacy 8 + 24n over a strictly larger bus
+    set.  ``src`` identifies the publishing subsystem so the receiver can
+    match a values-only frame to the cached ordering.
+    """
+    Vm = np.asarray(Vm, dtype=np.float64)
+    Va = np.asarray(Va, dtype=np.float64)
+    n = len(Vm)
+    if len(Va) != n or (not values_only and len(bus_ids) != n):
+        raise ValueError("array length mismatch")
+    flags = COND_FLAG_VALUES_ONLY if values_only else 0
+    buf = bytearray(condensed_update_nbytes(n, values_only=values_only))
+    _COND_HEADER.pack_into(buf, 0, COND_VERSION, flags, src, n)
+    off = _COND_HEADER.size
+    if not values_only:
+        ids32 = np.asarray(bus_ids, dtype=np.uint32)
+        np.frombuffer(buf, dtype=np.uint32, count=n, offset=off)[:] = ids32
+        off += 4 * n
+    np.frombuffer(buf, dtype=np.float64, count=n, offset=off)[:] = Vm
+    off += 8 * n
+    np.frombuffer(buf, dtype=np.float64, count=n, offset=off)[:] = Va
+    return buf
+
+
+def unpack_condensed_update(
+    buf, *, copy: bool = True
+) -> tuple[int, bool, np.ndarray | None, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_condensed_update`.
+
+    Returns ``(src, values_only, bus_ids, Vm, Va)``; ``bus_ids`` is
+    ``None`` for a values-only frame (the receiver supplies the cached
+    ordering).  ``copy=False`` returns views aliasing ``buf`` with the
+    same ownership rules as :func:`unpack_state_update`.
+    """
+    if len(buf) < _COND_HEADER.size:
+        raise FrameError("short condensed-update buffer")
+    version, flags, src, n = _COND_HEADER.unpack_from(buf)
+    if version != COND_VERSION:
+        raise FrameError(f"unsupported condensed-update version {version}")
+    values_only = bool(flags & COND_FLAG_VALUES_ONLY)
+    expect = condensed_update_nbytes(n, values_only=values_only)
+    if len(buf) != expect:
+        raise FrameError(
+            f"condensed-update length mismatch: {len(buf)} != {expect}"
+        )
+    off = _COND_HEADER.size
+    bus_ids = None
+    if not values_only:
+        bus_ids = np.frombuffer(buf, dtype=np.uint32, count=n, offset=off)
+        off += 4 * n
+    Vm = np.frombuffer(buf, dtype=np.float64, count=n, offset=off)
+    off += 8 * n
+    Va = np.frombuffer(buf, dtype=np.float64, count=n, offset=off)
+    if copy:
+        bus_ids = None if bus_ids is None else bus_ids.copy()
+        return int(src), values_only, bus_ids, Vm.copy(), Va.copy()
+    return int(src), values_only, bus_ids, Vm, Va

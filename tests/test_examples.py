@@ -32,6 +32,7 @@ def _load(name: str):
         ("adaptive_operations", "frames"),
         ("serve_scenarios", "batches"),
         ("batch_sweep", "speedup"),
+        ("condensed_dse", "smaller"),
     ],
 )
 def test_example_runs(capsys, name, marker):
