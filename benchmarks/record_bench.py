@@ -8,10 +8,12 @@ throughput, echo round-trip latency and the mux-fabric data path over
 localhost TCP), the PR-4 observability instrumentation overhead on the
 warm DSE hot path, the PR-5 fault-injection hook overhead on the live
 frame loop, the PR-6 batched scenario sweep (copy-on-write fork cost
-and the one-batched-solve N-1 throughput), and the PR-7 boundary
+and the one-batched-solve N-1 throughput), the PR-7 boundary
 condensation comparison (reference vs Schur-condensed Step 2 on IEEE-14,
-IEEE-118 and the WECC-scale synthetic interconnection) — and writes the
-numbers to ``BENCH_pr7.json`` at the repository root::
+IEEE-118 and the WECC-scale synthetic interconnection), and the PR-8
+serving-capacity curve (open-loop Poisson load against a direct service,
+a one-shard router and a two-shard router) — and writes the
+numbers to ``BENCH_pr8.json`` at the repository root::
 
     PYTHONPATH=src python benchmarks/record_bench.py
 
@@ -35,9 +37,14 @@ payload than the network, required on every host), and batch/serial
 loadings must agree to ≤ 1e-9.  The PR-7 gate: the condensed Step 2 must
 match the reference final state to ≤ 1e-8 on every case (every host),
 shrink the WECC-scale exchange volume ≥ 5×, and — on ≥ 2 cores — reduce
-the warm WECC-scale Step-2 solve time.  On smaller hosts the numbers are
-still recorded (with the core count) but the scale-dependent gates are
-not evaluated.
+the warm WECC-scale Step-2 solve time.  The PR-8 gate: every offered
+request must resolve (zero hung, zero untyped failures) on every host;
+on ≥ 2 cores, where the shards' dispatcher threads can physically run in
+parallel, the two-shard router must sustain ≥ 1.5× the single-service
+capacity at the same p99 SLO, and the one-shard router path must stay
+within 5% of the direct service's p50 latency.  On smaller hosts the
+numbers are still recorded (with the core count) but the scale-dependent
+gates are not evaluated.
 """
 
 from __future__ import annotations
@@ -64,6 +71,7 @@ from bench_batch_sweep import (  # noqa: E402
     measure_sweep_throughput,
 )
 from bench_condensation import measure_condensation  # noqa: E402
+from bench_serving_capacity import measure_serving_capacity  # noqa: E402
 from bench_fault_overhead import measure_fault_overhead  # noqa: E402
 from bench_obs_overhead import measure_obs_overhead  # noqa: E402
 from bench_scaleout_throughput import (  # noqa: E402
@@ -85,7 +93,7 @@ from repro.grid import run_ac_power_flow  # noqa: E402
 from repro.grid.cases import case118  # noqa: E402
 from repro.measurements import full_placement, generate_measurements  # noqa: E402
 
-OUT = ROOT / "BENCH_pr7.json"
+OUT = ROOT / "BENCH_pr8.json"
 
 
 def _setup118():
@@ -316,6 +324,33 @@ def _condensation_gate(cond: dict, cores: int | None) -> tuple[bool, str]:
     return ok, f"{summary} (need parity <= 1e-8, >= 5x bytes, > 1x step2)"
 
 
+def _serving_gate(cap: dict) -> tuple[bool, str]:
+    """Every offered request resolves (zero hung / untyped failures) on
+    every host; on ≥ 2 cores the two-shard router must sustain ≥ 1.5× the
+    single-service capacity within the p99 SLO and the one-shard router
+    path must stay within 5% of the direct p50 latency."""
+    cores = cap["cores"] or 1
+    for name, rec in cap["configs"].items():
+        for row in rec["rows"]:
+            if row["n_hung"] or row["n_failed"]:
+                return False, (
+                    f"gate failed: {name} at {row['offered_rate']:.0f}/s "
+                    f"had {row['n_hung']} hung / {row['n_failed']} untyped "
+                    "failures"
+                )
+    direct = cap["configs"]["direct"]["capacity_per_s"]
+    sharded = cap["configs"]["router2"]["capacity_per_s"]
+    overhead = cap["router1_overhead"]["overhead_frac"]
+    summary = (
+        f"capacity direct {direct:.0f}/s vs 2-shard {sharded:.0f}/s, "
+        f"router-layer p50 overhead {overhead * 100:+.1f}%"
+    )
+    if cores < 2:
+        return True, f"gate skipped: {cores} core(s) < 2 (recorded: {summary})"
+    ok = sharded >= 1.5 * direct and overhead <= 0.05
+    return ok, f"{summary} (need >= 1.5x capacity and <= +5% p50)"
+
+
 def main() -> int:
     net, pf, dec, ms = _setup118()
 
@@ -383,8 +418,15 @@ def main() -> int:
     cond_ok, cond_msg = _condensation_gate(condensation, os.cpu_count())
     print(f"  {cond_msg}")
 
+    print("running serving-capacity curve (PR-8, open-loop load) ...")
+    capacity = measure_serving_capacity()
+    for name, rec in capacity["configs"].items():
+        print(f"  {name:>8}: capacity {rec['capacity_per_s']:8.1f}/s")
+    serving_ok, serving_msg = _serving_gate(capacity)
+    print(f"  {serving_msg}")
+
     payload = {
-        "pr": 7,
+        "pr": 8,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cores": os.cpu_count(),
@@ -404,6 +446,8 @@ def main() -> int:
         "batch_sweep_gate": batch_msg,
         "condensation": condensation,
         "condensation_gate": cond_msg,
+        "serving_capacity": capacity,
+        "serving_capacity_gate": serving_msg,
     }
     OUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT}")
@@ -423,8 +467,10 @@ def main() -> int:
         print(f"ACCEPTANCE FAILED: {batch_msg}")
     if not cond_ok:
         print(f"ACCEPTANCE FAILED: {cond_msg}")
+    if not serving_ok:
+        print(f"ACCEPTANCE FAILED: {serving_msg}")
     all_ok = (ok and scaleout_ok and fastpath_ok and obs_ok and fault_ok
-              and batch_ok and cond_ok)
+              and batch_ok and cond_ok and serving_ok)
     return 0 if all_ok else 1
 
 

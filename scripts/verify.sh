@@ -36,4 +36,7 @@ python examples/batch_sweep.py
 echo "== condensed DSE smoke (Schur-reduced Step-2 exchange and solve) =="
 python examples/condensed_dse.py
 
+echo "== sharded serving smoke (hash-ring router, drain, no loss) =="
+python examples/serve_sharded.py --tiny
+
 echo "verify: OK"

@@ -13,6 +13,7 @@ from .errors import (
     SendFailed,
 )
 from .fastpath import InprocMuxRouter, MuxRouter
+from .hashring import ConsistentHashRing, EmptyRing
 from .message import (
     MAX_FRAME,
     MUX_HEADER,
@@ -62,6 +63,8 @@ __all__ = [
     "recv_mux_frame",
     "MuxRouter",
     "InprocMuxRouter",
+    "ConsistentHashRing",
+    "EmptyRing",
     "pack_state_update",
     "unpack_state_update",
     "Connection",

@@ -1,0 +1,151 @@
+"""Consistent hashing for shard-addressed routing.
+
+The serving tier spreads scenario traffic across N service replicas, and
+the fabric can address frames by *key* instead of by destination name.
+Both need the same property: adding or removing one shard must move only
+``~1/N`` of the keyspace (a modulo hash reshuffles almost everything,
+destroying warm caches on every membership change).
+
+:class:`ConsistentHashRing` is the classic construction: every node is
+hashed onto a 64-bit ring at ``vnodes`` positions (virtual nodes smooth
+the per-node arc lengths), a key routes to the first node clockwise from
+its own hash, and :meth:`preference` walks further clockwise to yield the
+distinct-node fallback order used for overload spillover and replica
+handoff.  Hashing is ``blake2b`` over the ``repr`` of the key — pure,
+process-independent and seedless, so every router instance in every
+process agrees on the placement of every key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from bisect import bisect_right
+
+__all__ = ["ConsistentHashRing", "EmptyRing"]
+
+_U64 = struct.Struct(">Q")
+
+
+class EmptyRing(LookupError):
+    """Routing was attempted against a ring with no nodes."""
+
+
+def _hash64(data: str) -> int:
+    h = hashlib.blake2b(data.encode(), digest_size=8)
+    return _U64.unpack(h.digest())[0]
+
+
+class ConsistentHashRing:
+    """A thread-safe consistent-hash ring with virtual nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node names (order-independent: the ring layout depends
+        only on the set of names and ``vnodes``).
+    vnodes:
+        Virtual nodes per physical node.  More virtual nodes flatten the
+        load split (64 keeps the max/mean arc ratio within ~30% for small
+        clusters) at a small memory cost.
+    """
+
+    def __init__(self, nodes=(), *, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._lock = threading.Lock()
+        self._points: list[int] = []       # sorted ring positions
+        self._owners: list[str] = []       # owner node per position
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        """Insert ``node`` (idempotent)."""
+        with self._lock:
+            if node in self._nodes:
+                return
+            self._nodes.add(node)
+            for v in range(self.vnodes):
+                pt = _hash64(f"{node}#{v}")
+                i = bisect_right(self._points, pt)
+                self._points.insert(i, pt)
+                self._owners.insert(i, node)
+
+    def remove(self, node: str) -> None:
+        """Remove ``node`` (idempotent); its arcs fall to the clockwise
+        successors, every other key keeps its placement."""
+        with self._lock:
+            if node not in self._nodes:
+                return
+            self._nodes.discard(node)
+            keep = [
+                (pt, owner)
+                for pt, owner in zip(self._points, self._owners)
+                if owner != node
+            ]
+            self._points = [pt for pt, _ in keep]
+            self._owners = [owner for _, owner in keep]
+
+    @property
+    def nodes(self) -> frozenset:
+        with self._lock:
+            return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        with self._lock:
+            return node in self._nodes
+
+    # ------------------------------------------------------------------
+    def route(self, key) -> str:
+        """The node owning ``key`` (first node clockwise from its hash)."""
+        with self._lock:
+            if not self._points:
+                raise EmptyRing("no nodes on the ring")
+            i = bisect_right(self._points, _hash64(repr(key)))
+            return self._owners[i % len(self._owners)]
+
+    def preference(self, key, n: int | None = None) -> list[str]:
+        """Distinct nodes in clockwise order from ``key``'s hash.
+
+        ``preference(key)[0] == route(key)``; the tail is the spillover /
+        handoff order — the nodes that inherit the key, in sequence, as
+        earlier ones are removed.  ``n`` truncates the list.
+        """
+        with self._lock:
+            if not self._points:
+                raise EmptyRing("no nodes on the ring")
+            want = len(self._nodes) if n is None else min(n, len(self._nodes))
+            start = bisect_right(self._points, _hash64(repr(key)))
+            out: list[str] = []
+            seen: set[str] = set()
+            m = len(self._owners)
+            for step in range(m):
+                owner = self._owners[(start + step) % m]
+                if owner not in seen:
+                    seen.add(owner)
+                    out.append(owner)
+                    if len(out) >= want:
+                        break
+            return out
+
+    def load_split(self, keys) -> dict[str, int]:
+        """Key count per node for an iterable of keys (balance probe)."""
+        counts: dict[str, int] = {}
+        for key in keys:
+            node = self.route(key)
+            counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConsistentHashRing(nodes={sorted(self.nodes)}, "
+            f"vnodes={self.vnodes})"
+        )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from .. import obs
 from .client import EndpointRegistry, MWClient
 from .fastpath import InprocMuxRouter, MuxRouter
+from .hashring import ConsistentHashRing
 from .message import FLAG_TRACED, attach_trace_context
 from .pipeline import MifComponent, MifPipeline
 from .transports import InprocTransport
@@ -197,6 +198,48 @@ class MiddlewareFabric:
             return
         for dst, payload in frames:
             self.send(src, dst, payload)
+
+    # -- shard-addressed routing ---------------------------------------
+    def enable_sharding(
+        self, shards: list[str] | None = None, *, vnodes: int = 64
+    ) -> ConsistentHashRing:
+        """Turn on key-addressed sends over a subset of sites.
+
+        ``shards`` (default: every site) become consistent-hash targets;
+        :meth:`send_keyed` then routes a frame by key instead of by name.
+        Returns the ring so callers can adjust membership (a removed
+        shard's keyspace falls to its clockwise successors — the same
+        placement rule the serving tier's ``ShardRouter`` uses, so a
+        co-located router and fabric agree on every key).
+        """
+        shards = list(self.names) if shards is None else list(shards)
+        for name in shards:
+            if name not in self.names:
+                raise ValueError(f"shard {name!r} is not a fabric site")
+        self._shard_ring = ConsistentHashRing(shards, vnodes=vnodes)
+        return self._shard_ring
+
+    def shard_for(self, key, *, exclude: str | None = None) -> str:
+        """The site owning ``key`` (first live preference, skipping
+        ``exclude`` — a sender that cannot deliver to itself)."""
+        ring = getattr(self, "_shard_ring", None)
+        if ring is None:
+            raise RuntimeError("call enable_sharding() first")
+        for name in ring.preference(key):
+            if name != exclude:
+                return name
+        raise KeyError(f"no shard available for key {key!r}")
+
+    def send_keyed(self, src: str, key, payload: bytes) -> str:
+        """Send ``payload`` to the shard owning ``key``; returns the
+        destination name the key hashed to."""
+        dst = self.shard_for(key, exclude=src)
+        self.send(src, dst, payload)
+        if obs.enabled():
+            obs.metrics().counter(
+                "router.keyed_frames_total", dst=dst
+            ).inc()
+        return dst
 
     def recv(self, name: str, *, timeout: float = 5.0) -> bytes:
         """Take the next payload delivered to estimator ``name``."""

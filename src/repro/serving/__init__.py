@@ -1,22 +1,36 @@
-"""Batched scenario serving: coalesce estimation / contingency requests
-into batches and stream results back over a shared executor backend."""
+"""Scenario serving: batched replicas, a consistent-hash shard router,
+closed-loop pool autoscaling and an open-loop load-generation harness."""
 
+from .autoscale import AutoscalePolicy, PoolAutoscaler
+from .loadgen import LoadGenerator, LoadReport, ScenarioMix, poisson_arrivals
 from .requests import (
     ContingencyRequest,
     EstimationRequest,
+    ReplicaLost,
     ScenarioRequest,
     ScenarioResult,
     ServiceOverloaded,
     ServiceStats,
 )
 from .service import ScenarioService
+from .shard import RouterStats, ShardRouter, request_key
 
 __all__ = [
+    "AutoscalePolicy",
     "ContingencyRequest",
     "EstimationRequest",
+    "LoadGenerator",
+    "LoadReport",
+    "PoolAutoscaler",
+    "ReplicaLost",
+    "RouterStats",
+    "ScenarioMix",
     "ScenarioRequest",
     "ScenarioResult",
     "ScenarioService",
     "ServiceOverloaded",
     "ServiceStats",
+    "ShardRouter",
+    "poisson_arrivals",
+    "request_key",
 ]

@@ -1,0 +1,204 @@
+"""Closed-loop autoscaling of each shard's warm worker pool.
+
+The :class:`PoolAutoscaler` watches the same signals the ``obs`` layer
+exports — per-shard queue depth and streaming p99 request latency — and
+grows or shrinks each replica's executor through the PR-8
+``SubsystemExecutor.resize`` hook.  A resized
+:class:`~repro.parallel.ProcessPoolBackend` comes back *warm*: its
+registered worker contexts rebuild in the fresh workers, so scaling costs
+one warmup, not a cold cache.
+
+Control-loop discipline (the part naive autoscalers get wrong):
+
+- **hysteresis** — a scale decision must hold for ``hysteresis``
+  consecutive evaluation ticks before it acts, so a single queued burst
+  does not thrash the pool;
+- **cooldown** — after acting on a shard, that shard is frozen for
+  ``cooldown`` seconds, giving the resized pool time to show up in the
+  signals before the next decision;
+- **bounded** — worker counts are clamped to ``[min_workers,
+  max_workers]`` and every step moves by exactly one worker.
+
+**Off by default.**  ``PoolAutoscaler(enabled=False)`` (the default) is
+inert: ``evaluate`` returns no decisions, ``step`` applies nothing,
+``start`` does not spawn the loop thread — a router built without (or
+with a disabled) autoscaler behaves bit-for-bit like one that never
+heard of autoscaling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from .. import obs
+
+__all__ = ["AutoscalePolicy", "PoolAutoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Thresholds and pacing for the scaling loop.
+
+    Scale **up** when a shard's queue depth reaches ``scale_up_depth``
+    (or its streaming p99 exceeds ``scale_up_p99``, when set); scale
+    **down** when depth falls to ``scale_down_depth`` or below.  Depth is
+    the primary signal — the streaming p99 is cumulative over the run, so
+    it only ever gates scale-up.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    scale_up_depth: int = 8
+    scale_down_depth: int = 0
+    scale_up_p99: float | None = None
+    hysteresis: int = 2
+    cooldown: float = 2.0
+    interval: float = 0.25
+
+    def __post_init__(self):
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.scale_up_depth <= self.scale_down_depth:
+            raise ValueError("scale_up_depth must exceed scale_down_depth")
+        if self.hysteresis < 1:
+            raise ValueError("hysteresis must be >= 1")
+        if self.cooldown < 0 or self.interval <= 0:
+            raise ValueError("cooldown must be >= 0 and interval > 0")
+
+
+class PoolAutoscaler:
+    """Grows/shrinks shard executors from queue-depth/latency signals.
+
+    Parameters
+    ----------
+    policy:
+        Thresholds and pacing (:class:`AutoscalePolicy`).
+    enabled:
+        Master switch, **False by default**.  Disabled, every entry point
+        is a no-op — the documented bitwise-inert contract.
+    clock:
+        Injectable monotonic clock (tests drive cooldowns without
+        sleeping).
+    """
+
+    def __init__(
+        self,
+        policy: AutoscalePolicy | None = None,
+        *,
+        enabled: bool = False,
+        clock=time.monotonic,
+    ):
+        self.policy = policy or AutoscalePolicy()
+        self.enabled = bool(enabled)
+        self._clock = clock
+        self._router = None
+        self._streak: dict[str, int] = {}       # signed consecutive votes
+        self._last_action: dict[str, float] = {}
+        self.resizes: list[tuple[str, int, int]] = []  # (shard, old, new)
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- wiring --------------------------------------------------------
+    def attach(self, router) -> None:
+        """Bind to a :class:`~repro.serving.shard.ShardRouter` (or any
+        object with ``live_items()``)."""
+        self._router = router
+
+    # -- decisions -----------------------------------------------------
+    def _vote(self, svc) -> int:
+        """+1 (scale up), -1 (scale down) or 0 for one shard's signals."""
+        depth = svc.queue_depth()
+        if depth >= self.policy.scale_up_depth:
+            return 1
+        if (
+            self.policy.scale_up_p99 is not None
+            and svc.stats.p99 > self.policy.scale_up_p99
+        ):
+            return 1
+        if depth <= self.policy.scale_down_depth:
+            return -1
+        return 0
+
+    def evaluate(self, now: float | None = None) -> dict[str, int]:
+        """Desired worker counts for shards whose vote has persisted
+        through hysteresis and cooldown.  Pure observation — nothing is
+        resized; returns ``{}`` when disabled or unattached."""
+        if not self.enabled or self._router is None:
+            return {}
+        now = self._clock() if now is None else now
+        decisions: dict[str, int] = {}
+        for name, svc in self._router.live_items():
+            vote = self._vote(svc)
+            streak = self._streak.get(name, 0)
+            streak = streak + vote if vote and streak * vote >= 0 else vote
+            self._streak[name] = streak
+            if abs(streak) < self.policy.hysteresis:
+                continue
+            if now - self._last_action.get(name, -1e18) < self.policy.cooldown:
+                continue
+            current = svc.executor.n_workers
+            target = current + (1 if streak > 0 else -1)
+            target = max(self.policy.min_workers,
+                         min(self.policy.max_workers, target))
+            if target != current:
+                decisions[name] = target
+        return decisions
+
+    def step(self, now: float | None = None) -> dict[str, int]:
+        """One control tick: evaluate, then apply each decision through
+        ``executor.resize``.  Returns the resizes actually applied."""
+        now = self._clock() if now is None else now
+        applied: dict[str, int] = {}
+        for name, target in self.evaluate(now).items():
+            svc = dict(self._router.live_items()).get(name)
+            if svc is None:
+                continue
+            old = svc.executor.n_workers
+            if not svc.executor.resize(target):
+                continue  # backend cannot resize (serial): leave it be
+            applied[name] = target
+            self.resizes.append((name, old, target))
+            self._last_action[name] = now
+            self._streak[name] = 0
+            if obs.enabled():
+                reg = obs.metrics()
+                reg.gauge("serving.autoscale.workers", shard=name).set(target)
+                reg.counter(
+                    "serving.autoscale.resizes_total",
+                    direction="up" if target > old else "down",
+                ).inc()
+        return applied
+
+    # -- background loop -----------------------------------------------
+    def start(self) -> None:
+        """Spawn the evaluation loop (no-op when disabled)."""
+        if not self.enabled or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="pool-autoscaler", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.policy.interval):
+            try:
+                self.step()
+            except Exception:  # pragma: no cover - keep the loop alive
+                pass
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PoolAutoscaler(enabled={self.enabled}, policy={self.policy}, "
+            f"resizes={len(self.resizes)})"
+        )

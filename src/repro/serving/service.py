@@ -54,6 +54,7 @@ from ..parallel import SubsystemExecutor, make_executor
 from .requests import (
     ContingencyRequest,
     EstimationRequest,
+    ReplicaLost,
     ScenarioResult,
     ServiceOverloaded,
     ServiceStats,
@@ -192,6 +193,7 @@ class ScenarioService:
         self._dispatcher: threading.Thread | None = None
         self._dispatch_lock = threading.Lock()
         self._closed = False
+        self._abort_exc: Exception | None = None
 
     # -- submission ---------------------------------------------------------
     def submit(self, request) -> Future:
@@ -218,10 +220,15 @@ class ScenarioService:
         if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
             self._shed(fut, ServiceOverloaded(
                 f"backlog at max_queue={self.max_queue}; request shed"
-            ), reason="overload")
+            ), cause="queue_full")
             return fut
         self._queue.put((request, fut, time.perf_counter()))
         return fut
+
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched (the backpressure /
+        autoscaling signal; approximate by nature)."""
+        return self._queue.qsize()
 
     def submit_estimation(
         self,
@@ -293,16 +300,21 @@ class ScenarioService:
             if stop:
                 return
 
-    def _shed(self, fut: Future, exc: Exception, *, reason: str) -> None:
-        self.stats.record_shed()
+    def _shed(self, fut: Future, exc: Exception, *, cause: str) -> None:
+        self.stats.record_shed(cause)
         if obs.enabled():
-            obs.metrics().counter(
-                "serving.shed_total", reason=reason
-            ).inc()
+            obs.metrics().counter("serving.shed", cause=cause).inc()
         if not fut.done():
             fut.set_exception(exc)
 
     def _execute_batch(self, batch: list) -> None:
+        abort = self._abort_exc
+        if abort is not None:
+            # replica lost: nothing executes any more; fail fast so a
+            # front-end router can re-hash every queued request
+            for it in batch:
+                self._shed(it[1], abort, cause="replica_lost")
+            return
         if self.request_timeout is not None:
             now = time.perf_counter()
             fresh = []
@@ -312,7 +324,7 @@ class ScenarioService:
                     self._shed(it[1], DeadlineExceeded(
                         f"request spent {age:.3f}s queued, past its "
                         f"{self.request_timeout:.3f}s deadline"
-                    ), reason="deadline")
+                    ), cause="deadline")
                 else:
                     fresh.append(it)
             batch = fresh
@@ -426,6 +438,27 @@ class ScenarioService:
         )
 
     # -- lifecycle ----------------------------------------------------------
+    def abort(self, exc: Exception | None = None) -> None:
+        """Hard replica loss: stop executing and fail every request still
+        queued with a typed :class:`~repro.serving.requests.ReplicaLost`.
+
+        This is the crash-shaped sibling of :meth:`close` (which drains).
+        A front-end shard router observes the typed failures and re-hashes
+        the lost requests onto surviving replicas — the contract chaos
+        tests assert is "completed or typed error, never silently lost".
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._abort_exc = exc or ReplicaLost("replica aborted")
+        with self._dispatch_lock:
+            dispatcher = self._dispatcher
+        if dispatcher is not None:
+            self._queue.put(_SHUTDOWN)
+            dispatcher.join()
+        if self._own_executor:
+            self.executor.shutdown()
+
     def close(self) -> None:
         """Drain the dispatcher and release owned resources (idempotent)."""
         if self._closed:

@@ -31,6 +31,7 @@ def _load(name: str):
         ("contingency_analysis", "speedup"),
         ("adaptive_operations", "frames"),
         ("serve_scenarios", "batches"),
+        ("serve_sharded", "shards"),
         ("batch_sweep", "speedup"),
         ("condensed_dse", "smaller"),
     ],
