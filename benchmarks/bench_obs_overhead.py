@@ -59,37 +59,56 @@ def measure_obs_overhead(*, frames: int = 10, repeats: int = 5) -> dict:
             dse.run(z=z)
         return time.perf_counter() - t0
 
-    # Interleave the two modes so clock-frequency / cache drift over the
-    # run biases neither: measuring all-off then all-on has been seen to
-    # misattribute several percent of drift to the instrumentation.
+    # Interleave the three modes so clock-frequency / cache drift over the
+    # run biases none of them: measuring all-off then all-on has been seen
+    # to misattribute several percent of drift to the instrumentation.
+    # "health" is full observability plus the PR-9 health plane: tracer
+    # mirror feeding the flight recorder and the monitor's tick loop
+    # running concurrently on its default interval.
     prior = obs.enabled()
-    t_off = t_on = float("inf")
+    t_off = t_on = t_health = float("inf")
+
+    def health_mode(on: bool) -> None:
+        obs.configure(enabled=on, health=on, reset=True)
+        if on:
+            obs.health().start(interval=0.25)
+
     try:
         for _ in range(repeats):
-            obs.configure(enabled=False, reset=True)
+            obs.configure(enabled=False, health=False, reset=True)
             t_off = min(t_off, one_repeat())
-            obs.configure(enabled=True, reset=True)
+            obs.configure(enabled=True, health=False, reset=True)
             t_on = min(t_on, one_repeat())
+            health_mode(True)
+            t_health = min(t_health, one_repeat())
+            health_mode(False)
 
-        obs.configure(enabled=False, reset=True)
+        obs.configure(enabled=False, health=False, reset=True)
         res_off = dse.run(z=z)
-        obs.configure(enabled=True, reset=True)
+        obs.configure(enabled=True, health=False, reset=True)
         res_on = dse.run(z=z)
         spans_per_frame = len(obs.tracer().finished())
+        health_mode(True)
+        res_health = dse.run(z=z)
+        health_mode(False)
     finally:
-        obs.configure(enabled=prior, reset=True)
+        obs.configure(enabled=prior, health=False, reset=True)
 
+    same = np.array_equal
     return {
         "case": "ieee118",
         "frames_per_repeat": frames,
         "repeats": repeats,
         "disabled_time_s": t_off,
         "enabled_time_s": t_on,
+        "health_time_s": t_health,
         "overhead_frac": t_on / t_off - 1.0,
+        "health_overhead_frac": t_health / t_off - 1.0,
         "spans_per_frame": spans_per_frame,
         "bit_identical": bool(
-            np.array_equal(res_on.Vm, res_off.Vm)
-            and np.array_equal(res_on.Va, res_off.Va)
+            same(res_on.Vm, res_off.Vm) and same(res_on.Va, res_off.Va)
+            and same(res_health.Vm, res_off.Vm)
+            and same(res_health.Va, res_off.Va)
         ),
     }
 
@@ -101,6 +120,11 @@ def main() -> int:
         f"enabled {rec['enabled_time_s'] * 1e3:8.1f} ms   "
         f"overhead {rec['overhead_frac'] * 100:+.2f}%   "
         f"({rec['spans_per_frame']:.0f} spans/frame)"
+    )
+    print(
+        f"health   {rec['health_time_s'] * 1e3:8.1f} ms   "
+        f"overhead {rec['health_overhead_frac'] * 100:+.2f}% "
+        "(obs + flight recorder + monitor loop)"
     )
     print(f"bit-identical outputs: {rec['bit_identical']}")
     return 0 if rec["bit_identical"] else 1

@@ -10,10 +10,12 @@ warm DSE hot path, the PR-5 fault-injection hook overhead on the live
 frame loop, the PR-6 batched scenario sweep (copy-on-write fork cost
 and the one-batched-solve N-1 throughput), the PR-7 boundary
 condensation comparison (reference vs Schur-condensed Step 2 on IEEE-14,
-IEEE-118 and the WECC-scale synthetic interconnection), and the PR-8
+IEEE-118 and the WECC-scale synthetic interconnection), the PR-8
 serving-capacity curve (open-loop Poisson load against a direct service,
-a one-shard router and a two-shard router) — and writes the
-numbers to ``BENCH_pr8.json`` at the repository root::
+a one-shard router and a two-shard router), and the PR-9 health-plane
+overhead (obs + flight recorder + monitor loop on the warm DSE frame
+loop) — and writes the numbers to ``BENCH_pr9.json`` at the repository
+root::
 
     PYTHONPATH=src python benchmarks/record_bench.py
 
@@ -44,7 +46,12 @@ parallel, the two-shard router must sustain ≥ 1.5× the single-service
 capacity at the same p99 SLO, and the one-shard router path must stay
 within 5% of the direct service's p50 latency.  On smaller hosts the
 numbers are still recorded (with the core count) but the scale-dependent
-gates are not evaluated.
+gates are not evaluated.  The PR-9 gate follows the PR-4 shape: enabling
+the full health plane (tracer mirror into the flight recorder plus the
+monitor's background tick loop) must cost ≤ 5% over the disabled
+baseline on the warm IEEE-118 frame loop (≥ 2 cores), with estimator
+outputs bit-identical across disabled / obs-only / health modes on every
+host.
 """
 
 from __future__ import annotations
@@ -93,7 +100,7 @@ from repro.grid import run_ac_power_flow  # noqa: E402
 from repro.grid.cases import case118  # noqa: E402
 from repro.measurements import full_placement, generate_measurements  # noqa: E402
 
-OUT = ROOT / "BENCH_pr8.json"
+OUT = ROOT / "BENCH_pr9.json"
 
 
 def _setup118():
@@ -265,6 +272,22 @@ def _obs_gate(rec: dict, cores: int | None) -> tuple[bool, str]:
     return ok, f"{summary} (need <= +5.00%)"
 
 
+def _health_gate(rec: dict, cores: int | None) -> tuple[bool, str]:
+    """PR-9: ≤5% overhead with the full health plane on (obs + flight
+    recorder mirror + monitor tick loop), gated on ≥2 cores; the
+    three-way bit-identical check is required on every host."""
+    summary = (
+        f"health-plane overhead {rec['health_overhead_frac'] * 100:+.2f}%, "
+        f"bit-identical={rec['bit_identical']}"
+    )
+    if not rec["bit_identical"]:
+        return False, f"gate failed: outputs differ with health on ({summary})"
+    if (cores or 1) < 2:
+        return True, f"gate skipped: {cores} core(s) < 2 (recorded: {summary})"
+    ok = rec["health_overhead_frac"] <= 0.05
+    return ok, f"{summary} (need <= +5.00%)"
+
+
 def _fault_gate(rec: dict, cores: int | None) -> tuple[bool, str]:
     """≤5% installed-but-idle injector overhead on the live frame loop,
     gated on ≥2 cores; bit-identical outputs and zero fired faults are
@@ -392,6 +415,8 @@ def main() -> int:
           f"enabled {obs_overhead['enabled_time_s'] * 1e3:.1f} ms")
     obs_ok, obs_msg = _obs_gate(obs_overhead, os.cpu_count())
     print(f"  {obs_msg}")
+    health_ok, health_msg = _health_gate(obs_overhead, os.cpu_count())
+    print(f"  {health_msg}")
 
     print("running fault-injection hook overhead (live frame loop) ...")
     fault_overhead = measure_fault_overhead()
@@ -426,7 +451,7 @@ def main() -> int:
     print(f"  {serving_msg}")
 
     payload = {
-        "pr": 8,
+        "pr": 9,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cores": os.cpu_count(),
@@ -439,6 +464,7 @@ def main() -> int:
         "middleware_fastpath_gate": fastpath_msg,
         "obs_overhead": obs_overhead,
         "obs_overhead_gate": obs_msg,
+        "health_overhead_gate": health_msg,
         "fault_overhead": fault_overhead,
         "fault_overhead_gate": fault_msg,
         "fork_cost": fork_cost,
@@ -461,6 +487,8 @@ def main() -> int:
         print(f"ACCEPTANCE FAILED: {fastpath_msg}")
     if not obs_ok:
         print(f"ACCEPTANCE FAILED: {obs_msg}")
+    if not health_ok:
+        print(f"ACCEPTANCE FAILED: {health_msg}")
     if not fault_ok:
         print(f"ACCEPTANCE FAILED: {fault_msg}")
     if not batch_ok:
@@ -469,8 +497,8 @@ def main() -> int:
         print(f"ACCEPTANCE FAILED: {cond_msg}")
     if not serving_ok:
         print(f"ACCEPTANCE FAILED: {serving_msg}")
-    all_ok = (ok and scaleout_ok and fastpath_ok and obs_ok and fault_ok
-              and batch_ok and cond_ok and serving_ok)
+    all_ok = (ok and scaleout_ok and fastpath_ok and obs_ok and health_ok
+              and fault_ok and batch_ok and cond_ok and serving_ok)
     return 0 if all_ok else 1
 
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Lint: every metric/span name used in src/ must appear in the
+observability taxonomy (docs/observability.md).
+
+The docs are the contract obsreport/obstop users and dashboard configs
+depend on; PR 8 renamed ``serving.shed_total`` to ``serving.shed{cause}``
+in code and the docs drifted until review caught it.  This check makes
+that drift a verify failure:
+
+- **error** (exit 1): a literal metric name passed to
+  ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``, or a span
+  name passed to ``obs.span`` / ``start_span`` / a recorder's ``.span``,
+  that the docs never mention;
+- **warning** (exit 0): a documented name no source file uses — stale
+  docs worth pruning, but not a gate (dynamic names land here).
+
+Names built at runtime (f-strings, variables) are invisible to this
+lint by design — the taxonomy documents the static namespace.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+DOCS = ROOT / "docs" / "observability.md"
+
+#: literal first-argument names of metric constructors
+_METRIC_RE = re.compile(
+    r"\.(?:counter|gauge|histogram)\(\s*[\"']([a-z][a-z0-9_.]*)[\"']"
+)
+#: literal span names: obs.span("..."), tracer.start_span("..."),
+#: recorder.span("...")
+_SPAN_RE = re.compile(
+    r"(?:\bobs\.span|\.start_span|\brec\.span|recorder\.span|\bsp\.span)"
+    r"\(\s*[\"']([a-z][a-z0-9_.]*)[\"']"
+)
+#: doc tokens that look like taxonomy names: dotted lower-case
+#: identifiers, optionally with a {label} suffix (stripped)
+_DOC_NAME_RE = re.compile(r"\b([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)(?:\{[^}]*\})?")
+
+
+def collect_src_names() -> dict[str, set[str]]:
+    """``{name: {files using it}}`` for every literal metric/span name."""
+    used: dict[str, set[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        rel = str(path.relative_to(ROOT))
+        for regex in (_METRIC_RE, _SPAN_RE):
+            for m in regex.finditer(text):
+                used.setdefault(m.group(1), set()).add(rel)
+    return used
+
+
+def collect_doc_names() -> set[str]:
+    """Every taxonomy-shaped name mentioned anywhere in the doc (prose,
+    backticked lists, and the span-tree code fences)."""
+    text = DOCS.read_text(encoding="utf-8")
+    return {m.group(1) for m in _DOC_NAME_RE.finditer(text)}
+
+
+def main() -> int:
+    if not DOCS.exists():
+        print(f"check_metric_names: missing {DOCS}", file=sys.stderr)
+        return 1
+    used = collect_src_names()
+    documented = collect_doc_names()
+
+    undocumented = {
+        name: files for name, files in sorted(used.items())
+        if name not in documented
+    }
+    unused = sorted(
+        name for name in documented
+        if name not in used
+        # prose contains dotted python identifiers too; only flag names
+        # under a telemetry namespace we actually emit from
+        and name.split(".", 1)[0] in {
+            n.split(".", 1)[0] for n in used
+        }
+        # ...and skip filename-shaped tokens (session.jsonl etc.)
+        and name.rsplit(".", 1)[1] not in {"jsonl", "json", "md", "py", "txt"}
+    )
+
+    if unused:
+        print(
+            f"check_metric_names: note: {len(unused)} documented name(s) "
+            "with no literal use in src/ (dynamic or stale):"
+        )
+        for name in unused:
+            print(f"  - {name}")
+
+    if undocumented:
+        print(
+            "check_metric_names: FAIL — names used in src/ but absent "
+            "from docs/observability.md:",
+            file=sys.stderr,
+        )
+        for name, files in undocumented.items():
+            print(f"  - {name}  ({', '.join(sorted(files))})", file=sys.stderr)
+        return 1
+
+    print(
+        f"check_metric_names: OK — {len(used)} literal names all "
+        "documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

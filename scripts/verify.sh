@@ -15,6 +15,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     python -m pytest -x -q
 fi
 
+echo "== metric-name taxonomy lint =="
+python scripts/check_metric_names.py
+
 echo "== quickstart smoke =="
 python examples/quickstart.py
 
@@ -38,5 +41,8 @@ python examples/condensed_dse.py
 
 echo "== sharded serving smoke (hash-ring router, drain, no loss) =="
 python examples/serve_sharded.py --tiny
+
+echo "== health plane smoke (watchdog, SLO burn, telemetry, blackbox) =="
+python examples/health_demo.py
 
 echo "verify: OK"

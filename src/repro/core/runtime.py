@@ -206,7 +206,20 @@ class LiveDseRuntime:
         # happen via the wire, never via these arrays.
         result_lock = threading.Lock()
 
+        watches: dict[int, object] = {}
+
         def site(s: int, fabric: MiddlewareFabric) -> None:
+            if obs.health_enabled():
+                # a round legitimately lasts up to its deadline (or one
+                # recv timeout per neighbour); double that is a stall
+                budget = (
+                    self.round_deadline
+                    if self.round_deadline is not None
+                    else self.recv_timeout * max(1, dec.m - 1)
+                )
+                watches[s] = obs.health().watch(
+                    f"live.site:{s}", timeout=2.0 * budget, source=f"se{s}",
+                )
             try:
                 # site threads start with a fresh contextvars context, so
                 # the root span is handed over explicitly
@@ -216,6 +229,10 @@ class LiveDseRuntime:
                 with err_lock:
                     errors.append(f"site {s} failed: {exc!r}")
                 barrier.abort()
+            finally:
+                tok = watches.pop(s, None)
+                if tok is not None:
+                    obs.health().disarm(tok)
 
         def _site_body(s: int, fabric: MiddlewareFabric) -> None:
             st = stats[s]
@@ -254,6 +271,9 @@ class LiveDseRuntime:
 
             # ---- Step 2 rounds ----
             for r in range(rounds):
+                tok = watches.get(s)
+                if tok is not None:
+                    obs.health().beat(tok)
                 degraded_round = False
                 with obs.span("live.exchange", s=s, round=r):
                     round_t1 = (
@@ -373,6 +393,8 @@ class LiveDseRuntime:
                         obs.metrics().counter(
                             "live.degraded_rounds_total"
                         ).inc()
+                    if obs.health_enabled():
+                        obs.health().frame_degraded(f"se{s}", round=r)
 
                 # pseudo measurements at the external boundary buses we know
                 ext_known = [int(b) for b in ext if int(b) in known_vm]

@@ -233,6 +233,11 @@ class DseSession:
         report.degraded_subsystems = sorted(degraded)
         if degraded and obs.enabled():
             obs.metrics().counter("session.degraded_frames_total").inc()
+        if degraded and obs.health_enabled():
+            obs.health().frame_degraded(
+                "session", frame=self._frame_no,
+                subsystems=sorted(degraded),
+            )
 
         self._prev_vm = result.Vm
         self._prev_va = result.Va

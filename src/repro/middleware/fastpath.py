@@ -38,6 +38,7 @@ from .endpoints import parse_endpoint
 from .errors import SendFailed
 from .message import (
     FLAG_CONTROL,
+    FLAG_TELEMETRY,
     FLAG_TRACED,
     FrameError,
     MUX_HEADER,
@@ -130,7 +131,10 @@ class _TcpMuxLink:
                 flags, _src, _dst, payload = recv_mux_frame(self._sock)
             except (FrameError, OSError, ValueError):
                 return
-            if flags & FLAG_CONTROL:
+            if flags & (FLAG_CONTROL | FLAG_TELEMETRY):
+                # control handshakes and telemetry are hub business; a
+                # telemetry frame reaching a link means a hub without a
+                # sink forwarded it — never application data either way
                 continue
             if flags & FLAG_TRACED:
                 # metadata prefix is for the routing layer, not the app
@@ -190,6 +194,13 @@ class MuxRouter:
         self._waker_w: socket.socket | None = None
         self.endpoint: str | None = None
         self.frames_dropped = 0
+        self._telemetry_sink = None
+
+    def set_telemetry_sink(self, callback) -> None:
+        """``callback(payload: bytes)`` receives every FLAG_TELEMETRY
+        frame at the hub (the aggregation point); such frames are
+        consumed here and never forwarded to a destination."""
+        self._telemetry_sink = callback
 
     # ------------------------------------------------------------------
     def start(self, url: str = "tcp://127.0.0.1:0") -> str:
@@ -289,6 +300,16 @@ class MuxRouter:
                 except OSError:  # pragma: no cover - peer died mid-hello
                     self._drop_conn(sock)
                     return
+                continue
+            if flags & FLAG_TELEMETRY:
+                sink = self._telemetry_sink
+                if sink is not None:
+                    try:
+                        sink(bytes(payload))
+                    except Exception:  # noqa: BLE001 - sink must not kill the hub
+                        pass
+                if obs.enabled():
+                    obs.metrics().counter("mux.telemetry_frames_total").inc()
                 continue
             out = self._routes.get(dst)
             if out is None:
@@ -397,9 +418,14 @@ class InprocMuxRouter:
         self._stats_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self.frames_dropped = 0
+        self._telemetry_sink = None
         # ids hard-disconnected by fault injection: symmetric with the TCP
         # hub, where the closed socket kills both directions
         self._dead: set[int] = set()
+
+    def set_telemetry_sink(self, callback) -> None:
+        """Same contract as :meth:`MuxRouter.set_telemetry_sink`."""
+        self._telemetry_sink = callback
 
     def start(self, url: str | None = None) -> str:
         self._thread = threading.Thread(
@@ -423,6 +449,16 @@ class InprocMuxRouter:
             if self._dead and (src in self._dead or dst in self._dead):
                 with self._stats_lock:
                     self.frames_dropped += 1
+                continue
+            if flags & FLAG_TELEMETRY:
+                sink = self._telemetry_sink
+                if sink is not None:
+                    try:
+                        sink(bytes(payload))
+                    except Exception:  # noqa: BLE001 - sink must not kill the hub
+                        pass
+                if obs.enabled():
+                    obs.metrics().counter("mux.telemetry_frames_total").inc()
                 continue
             deliver = self._deliver.get(dst)
             if deliver is None:

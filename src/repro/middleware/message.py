@@ -36,10 +36,13 @@ __all__ = [
     "MUX_VERSION",
     "FLAG_CONTROL",
     "FLAG_TRACED",
+    "FLAG_TELEMETRY",
     "TRACE_CTX",
     "attach_trace_context",
     "read_trace_context",
     "strip_trace_context",
+    "pack_telemetry",
+    "unpack_telemetry",
     "sendmsg_all",
     "send_frame",
     "send_frames",
@@ -69,6 +72,9 @@ FLAG_CONTROL = 0x01
 #: the payload starts with a packed trace context (wire-level context
 #: propagation: the router hop and the receiver join the sender's trace)
 FLAG_TRACED = 0x02
+#: telemetry frame (compact metric deltas for the health plane's
+#: aggregation sink) — consumed at the mux hub, never forwarded to a dst
+FLAG_TELEMETRY = 0x04
 
 #: trace-context prefix carried by FLAG_TRACED payloads:
 #: sampled flag, trace id, span id (17 bytes)
@@ -109,6 +115,45 @@ def strip_trace_context(payload):
         del payload[: TRACE_CTX.size]
         return payload
     return payload[TRACE_CTX.size :]
+
+
+#: telemetry payload header: version, flags (reserved), site-name length
+_TELEM_HEADER = struct.Struct(">BBH")
+TELEM_VERSION = 1
+
+
+def pack_telemetry(site: str, records: list) -> bytes:
+    """Encode one telemetry frame: metric-delta ``records`` from ``site``.
+
+    Versioned header + UTF-8 site name + compact JSON body — the records
+    are already small deltas (see :mod:`repro.obs.aggregate`), so JSON
+    keeps the frame debuggable without a schema registry; the header
+    leaves room to swap the body encoding later without a flag-day.
+    """
+    import json
+
+    name = site.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise FrameError("telemetry site name too long")
+    body = json.dumps(records, separators=(",", ":")).encode("utf-8")
+    return _TELEM_HEADER.pack(TELEM_VERSION, 0, len(name)) + name + body
+
+
+def unpack_telemetry(buf) -> tuple[str, list]:
+    """Decode a telemetry frame back to ``(site, records)``."""
+    import json
+
+    if len(buf) < _TELEM_HEADER.size:
+        raise FrameError("telemetry frame shorter than its header")
+    version, _flags, nlen = _TELEM_HEADER.unpack_from(buf, 0)
+    if version != TELEM_VERSION:
+        raise FrameError(f"unsupported telemetry version {version}")
+    off = _TELEM_HEADER.size
+    if len(buf) < off + nlen:
+        raise FrameError("telemetry frame truncated")
+    site = bytes(buf[off : off + nlen]).decode("utf-8")
+    records = json.loads(bytes(buf[off + nlen :]).decode("utf-8"))
+    return site, records
 
 
 class FrameError(RuntimeError):

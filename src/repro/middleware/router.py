@@ -23,7 +23,7 @@ from .. import obs
 from .client import EndpointRegistry, MWClient
 from .fastpath import InprocMuxRouter, MuxRouter
 from .hashring import ConsistentHashRing
-from .message import FLAG_TRACED, attach_trace_context
+from .message import FLAG_TELEMETRY, FLAG_TRACED, attach_trace_context
 from .pipeline import MifComponent, MifPipeline
 from .transports import InprocTransport
 
@@ -240,6 +240,33 @@ class MiddlewareFabric:
                 "router.keyed_frames_total", dst=dst
             ).inc()
         return dst
+
+    # -- telemetry plane -----------------------------------------------
+    def enable_telemetry(self, sink) -> None:
+        """Attach the cluster-side telemetry sink at the mux hub.
+
+        ``sink(payload: bytes)`` receives every ``FLAG_TELEMETRY`` frame
+        (typically :meth:`repro.obs.aggregate.TelemetryAggregator.ingest`);
+        telemetry frames are consumed at the hub and never reach a site's
+        deliver callback.  Fast plane only — the pipeline plane has no
+        hub to aggregate at.
+        """
+        if not self.fast or self._hub is None:
+            raise RuntimeError(
+                "telemetry aggregation needs the fast plane "
+                "(MiddlewareFabric(fast=True), started)"
+            )
+        self._hub.set_telemetry_sink(sink)
+
+    def send_telemetry(self, src: str, payload: bytes) -> None:
+        """Ship one packed telemetry frame from site ``src`` to the hub
+        sink (see :func:`repro.middleware.message.pack_telemetry`)."""
+        if not self.fast:
+            raise RuntimeError("telemetry frames ride the fast plane only")
+        # dst 0 is nominal — the hub consumes the frame before routing
+        self._links[src].send(0, payload, flags=FLAG_TELEMETRY)
+        if obs.enabled():
+            obs.metrics().counter("mw.telemetry_frames_sent_total").inc()
 
     def recv(self, name: str, *, timeout: float = 5.0) -> bytes:
         """Take the next payload delivered to estimator ``name``."""

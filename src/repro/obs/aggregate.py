@@ -1,0 +1,148 @@
+"""Cluster-wide telemetry aggregation over the mux fabric.
+
+Each site (worker process, shard host, DSE site) runs a
+:class:`TelemetryPublisher` against its local
+:class:`~repro.obs.metrics.MetricsRegistry`; every publish interval it
+computes **compact deltas** since its previous publish — counter
+increments, changed gauges, sparse histogram bucket deltas — packs them
+with :func:`repro.middleware.message.pack_telemetry` and ships them as a
+``FLAG_TELEMETRY`` frame.  The mux hub consumes telemetry frames before
+destination routing (they never reach application deliver callbacks) and
+hands them to a :class:`TelemetryAggregator`, which folds them into one
+cluster-level registry with a ``site`` label — so ``obstop`` or a
+Prometheus scrape of the hub process sees the whole cluster.
+
+Deltas, not snapshots, for two reasons: frames stay small (an idle site
+publishes nothing), and aggregation is correct under publisher restarts —
+a counter delta applies with ``inc``, never a last-write-wins overwrite
+that could go backwards.
+
+The middleware imports live inside the methods that need them:
+``repro.middleware`` imports ``repro.obs`` at module level, and this
+module must stay importable from ``repro.obs`` without a cycle.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+
+__all__ = ["TelemetryPublisher", "TelemetryAggregator"]
+
+
+def _rec_key(snap: dict) -> tuple:
+    return (snap["name"], tuple(sorted(snap["labels"].items())))
+
+
+class TelemetryPublisher:
+    """Computes metric deltas for one site's registry and ships them.
+
+    Call :meth:`publish` from one thread (the health monitor's tick loop
+    via :meth:`~repro.obs.health.HealthMonitor.attach_publisher`, or any
+    periodic caller); the previous-snapshot state is not locked.
+    """
+
+    def __init__(self, site: str, registry: MetricsRegistry):
+        self.site = site
+        self.registry = registry
+        self._last: dict[tuple, object] = {}
+        self.frames_sent = 0
+
+    def collect_deltas(self) -> list[dict]:
+        """Delta records since the previous call (empty when idle)."""
+        records: list[dict] = []
+        for snap in self.registry.collect():
+            kind = snap["kind"]
+            key = _rec_key(snap)
+            if kind == "counter":
+                prev = self._last.get(key, 0.0)
+                delta = snap["value"] - prev
+                if delta > 0:
+                    self._last[key] = snap["value"]
+                    records.append({
+                        "k": "c", "n": snap["name"], "l": snap["labels"],
+                        "d": delta,
+                    })
+            elif kind == "gauge":
+                prev = self._last.get(key)
+                if prev is None or snap["value"] != prev:
+                    self._last[key] = snap["value"]
+                    records.append({
+                        "k": "g", "n": snap["name"], "l": snap["labels"],
+                        "v": snap["value"],
+                    })
+            else:  # histogram
+                hist = self.registry.get(snap["name"], **snap["labels"])
+                if hist is None:  # pragma: no cover - registry raced a reset
+                    continue
+                counts = hist.bucket_counts()
+                count, vsum = hist.count, hist.sum
+                prev_counts, prev_count, prev_sum = self._last.get(
+                    key, ([0] * len(counts), 0, 0.0)
+                )
+                pairs = [
+                    [i, c - p]
+                    for i, (c, p) in enumerate(zip(counts, prev_counts))
+                    if c != p
+                ]
+                if not pairs and count == prev_count:
+                    continue
+                self._last[key] = (counts, count, vsum)
+                records.append({
+                    "k": "h", "n": snap["name"], "l": snap["labels"],
+                    "b": pairs, "dc": count - prev_count,
+                    "ds": vsum - prev_sum,
+                    "mn": snap["min"], "mx": snap["max"],
+                })
+        return records
+
+    def publish(self, send) -> int:
+        """Pack the pending deltas and hand the frame to ``send(payload)``
+        (e.g. ``lambda p: fabric.send_telemetry(site, p)``).  No frame is
+        sent when nothing changed; returns the number of records shipped."""
+        from ..middleware.message import pack_telemetry
+
+        records = self.collect_deltas()
+        if not records:
+            return 0
+        send(pack_telemetry(self.site, records))
+        self.frames_sent += 1
+        return len(records)
+
+    def bind(self, fabric, src: str):
+        """Convenience: a zero-arg publisher closure over a fabric site,
+        ready for :meth:`HealthMonitor.attach_publisher`."""
+        return lambda: self.publish(lambda p: fabric.send_telemetry(src, p))
+
+
+class TelemetryAggregator:
+    """Folds telemetry frames from many sites into one cluster registry.
+
+    Every ingested metric gains a ``site`` label, so per-site series stay
+    distinguishable and cluster totals are one label-sum away.  Wire this
+    as the hub sink: ``fabric.enable_telemetry(aggregator.ingest)``.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.frames_ingested = 0
+        self.records_ingested = 0
+
+    def ingest(self, payload: bytes) -> None:
+        """Apply one packed telemetry frame (hub-thread callback)."""
+        from ..middleware.message import unpack_telemetry
+
+        site, records = unpack_telemetry(payload)
+        for rec in records:
+            labels = dict(rec.get("l") or {})
+            labels["site"] = site
+            kind = rec["k"]
+            if kind == "c":
+                self.registry.counter(rec["n"], **labels).inc(rec["d"])
+            elif kind == "g":
+                self.registry.gauge(rec["n"], **labels).set(rec["v"])
+            elif kind == "h":
+                self.registry.histogram(rec["n"], **labels).absorb(
+                    rec["b"], rec["dc"], rec["ds"], rec["mn"], rec["mx"]
+                )
+        self.frames_ingested += 1
+        self.records_ingested += len(records)

@@ -27,6 +27,7 @@ __all__ = [
     "export_jsonl",
     "load_jsonl",
     "render_prometheus",
+    "render_prometheus_snapshots",
     "build_trace_trees",
     "render_flame",
     "render_metrics_table",
@@ -49,6 +50,11 @@ def _json_default(o):
     except ImportError:  # pragma: no cover - numpy is a hard dep
         pass
     return repr(o)
+
+
+def _dump_record(d: dict) -> str:
+    """One JSONL line for a record dict (shared with the flight recorder)."""
+    return json.dumps(d, default=_json_default) + "\n"
 
 
 def export_jsonl(path, *, tracer=None, registry=None, frames=None, meta=None) -> int:
@@ -89,8 +95,15 @@ def export_jsonl(path, *, tracer=None, registry=None, frames=None, meta=None) ->
 
 
 def load_jsonl(path) -> dict:
-    """Read a session dump back: ``{"meta", "spans", "metrics", "frames"}``."""
-    out = {"meta": {}, "spans": [], "metrics": [], "frames": []}
+    """Read a session dump back:
+    ``{"meta", "spans", "metrics", "frames", "events", "snapshots"}``.
+
+    ``events`` / ``snapshots`` come from health-plane blackbox dumps
+    (empty for plain session exports); unknown kinds are skipped, so
+    newer dumps stay readable by older loaders and vice versa.
+    """
+    out = {"meta": {}, "spans": [], "metrics": [], "frames": [],
+           "events": [], "snapshots": []}
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -106,6 +119,10 @@ def load_jsonl(path) -> dict:
                 out["metrics"].append(rec)
             elif kind == "frame":
                 out["frames"].append(rec)
+            elif kind == "event":
+                out["events"].append(rec)
+            elif kind == "snapshot":
+                out["snapshots"].append(rec)
     return out
 
 
@@ -116,23 +133,45 @@ def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+def _prom_escape(value) -> str:
+    """Escape a label value per the exposition format: backslash, double
+    quote and newline must be ``\\\\``, ``\\"`` and ``\\n`` inside the
+    quoted value."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: dict) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{_prom_name(str(k))}="{v}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{_prom_name(str(k))}="{_prom_escape(v)}"'
+        for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
-def render_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus text-format rendering of every metric in ``registry``."""
+def render_prometheus_snapshots(snapshots) -> str:
+    """Prometheus text-format rendering of metric snapshot dicts.
+
+    Accepts both live ``registry.collect()`` snapshots (``kind`` is the
+    metric kind) and JSONL metric records (``kind == "metric"`` with the
+    metric kind under ``metric_kind``) — the one renderer behind
+    :func:`render_prometheus` and the ``obsreport --prometheus`` CLI.
+    """
     lines: list[str] = []
-    for snap in registry.collect():
+    for snap in snapshots:
         name = _prom_name(snap["name"])
         labels = snap.get("labels") or {}
-        if snap["kind"] == "counter":
+        kind = snap.get("metric_kind", snap.get("kind"))
+        if kind == "counter":
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name}{_prom_labels(labels)} {snap['value']:.10g}")
-        elif snap["kind"] == "gauge":
+        elif kind == "gauge":
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name}{_prom_labels(labels)} {snap['value']:.10g}")
         else:  # histogram -> summary-style quantile samples
@@ -144,6 +183,11 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"{name}_sum{_prom_labels(labels)} {snap['sum']:.10g}")
             lines.append(f"{name}_count{_prom_labels(labels)} {snap['count']}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text-format rendering of every metric in ``registry``."""
+    return render_prometheus_snapshots(registry.collect())
 
 
 # ----------------------------------------------------------------------

@@ -157,10 +157,16 @@ class Span:
         if exc_type is not None:
             self.status = "error"
             self.attrs.setdefault("error", repr(exc))
-        self.end()
-        if self._token is not None:
-            _current.reset(self._token)
-            self._token = None
+        try:
+            self.end()
+        finally:
+            # Restore the contextvar even when the sink raises — otherwise
+            # this thread's "current span" leaks past the with-block and
+            # every later span silently parents into a dead trace (the
+            # same shape as the PR 4 re-entrant Timer fix).
+            if self._token is not None:
+                _current.reset(self._token)
+                self._token = None
 
     def end(self) -> None:
         if self._ended:
@@ -235,6 +241,10 @@ class Tracer:
         self._finished: list[dict] = []
         self._root_count = 0
         self.spans_dropped = 0
+        #: optional ``callback(span_dict)`` mirror — the health plane's
+        #: flight recorder.  Fed every finished span (even ones the
+        #: retention bound drops), outside this tracer's lock.
+        self.mirror = None
 
     # -- span creation ------------------------------------------------------
     def _sample_root(self) -> bool:
@@ -270,6 +280,9 @@ class Tracer:
 
     # -- collection ---------------------------------------------------------
     def _record(self, span_dict: dict) -> None:
+        mirror = self.mirror
+        if mirror is not None:
+            mirror(span_dict)
         with self._lock:
             if len(self._finished) >= self.max_spans:
                 self.spans_dropped += 1
@@ -280,6 +293,10 @@ class Tracer:
         """Graft spans finished elsewhere (pool workers, remote hops)."""
         if not span_dicts:
             return
+        mirror = self.mirror
+        if mirror is not None:
+            for d in span_dicts:
+                mirror(d)
         with self._lock:
             room = self.max_spans - len(self._finished)
             if room <= 0:

@@ -448,6 +448,27 @@ class ProcessPoolBackend(SubsystemExecutor):
         Task payloads are compact by contract, so re-running them is cheap.
         """
         items = list(items)
+        watch = None
+        if obs.health_enabled():
+            # a hung task beyond 2x its timeout means supervision itself
+            # stalled (or no task_timeout bounds the wait — then the
+            # monitor's default stall threshold applies)
+            watch = obs.health().watch(
+                "executor.pool_map",
+                timeout=(
+                    2.0 * self.task_timeout if self.task_timeout else None
+                ),
+                source="processes", tasks=len(items),
+            )
+        try:
+            return self._map_with_pids(fn, items, watch)
+        finally:
+            if watch is not None:
+                obs.health().disarm(watch)
+
+    def _map_with_pids(
+        self, fn: Callable, items: list, watch=None
+    ) -> tuple[list, list[int]]:
         n = len(items)
         results: list = [None] * n
         pids: list[int] = [0] * n
@@ -491,6 +512,8 @@ class ProcessPoolBackend(SubsystemExecutor):
                     raise exc from WorkerError(tb)
                 results[i] = value
                 pids[i] = pid
+                if watch is not None:
+                    obs.health().beat(watch)
             if not stranded:
                 break
             over = [i for i in stranded if runs[i] > self.max_task_retries]

@@ -119,6 +119,10 @@ class PoolAutoscaler:
             and svc.stats.p99 > self.policy.scale_up_p99
         ):
             return 1
+        if obs.health_enabled() and obs.health().slo.hint_for(svc.stats) > 0:
+            # a latency / shed-budget SLO burning on this replica outvotes
+            # a shallow queue: budget burn is the earlier overload signal
+            return 1
         if depth <= self.policy.scale_down_depth:
             return -1
         return 0

@@ -194,6 +194,16 @@ class ScenarioService:
         self._dispatch_lock = threading.Lock()
         self._closed = False
         self._abort_exc: Exception | None = None
+        self._health_watch = None
+        if obs.health_enabled():
+            mon = obs.health()
+            name = f"svc-{id(self):x}"
+            mon.watch_service(name, self.stats)
+            # gated on queue depth: an idle dispatcher is not a stall
+            self._health_watch = mon.watch(
+                f"serving.dispatch:{name}", source="serving.dispatch",
+                gate=self._queue.qsize,
+            )
 
     # -- submission ---------------------------------------------------------
     def submit(self, request) -> Future:
@@ -304,10 +314,14 @@ class ScenarioService:
         self.stats.record_shed(cause)
         if obs.enabled():
             obs.metrics().counter("serving.shed", cause=cause).inc()
+        if obs.health_enabled():
+            obs.health().note_shed("serving", cause)
         if not fut.done():
             fut.set_exception(exc)
 
     def _execute_batch(self, batch: list) -> None:
+        if self._health_watch is not None:
+            obs.health().beat(self._health_watch)
         abort = self._abort_exc
         if abort is not None:
             # replica lost: nothing executes any more; fail fast so a
@@ -458,6 +472,7 @@ class ScenarioService:
             dispatcher.join()
         if self._own_executor:
             self.executor.shutdown()
+        self._disarm_health()
 
     def close(self) -> None:
         """Drain the dispatcher and release owned resources (idempotent)."""
@@ -471,6 +486,13 @@ class ScenarioService:
             dispatcher.join()
         if self._own_executor:
             self.executor.shutdown()
+        self._disarm_health()
+
+    def _disarm_health(self) -> None:
+        watch, self._health_watch = self._health_watch, None
+        if watch is not None:
+            obs.health().disarm(watch)
+            obs.health().slo.untrack_source(self.stats)
 
     def __enter__(self) -> "ScenarioService":
         return self

@@ -178,6 +178,10 @@ class ShardRouter:
         self._seq = itertools.count()
         self._closed = False
         self.stats = RouterStats()
+        if obs.health_enabled():
+            obs.health().watch_router(
+                f"router-{grid or 'default'}", self.stats
+            )
         self.autoscaler = autoscaler
         if autoscaler is not None:
             autoscaler.attach(self)
@@ -240,6 +244,11 @@ class ShardRouter:
             obs.metrics().counter(
                 "router.replicas_lost_total", shard=name
             ).inc()
+        if obs.health_enabled():
+            # synchronous on the loss path: the shard.lost event (and any
+            # blackbox it triggers) lands before the rehash re-dispatches
+            # this replica's requests
+            obs.health().shard_lost(name, exc)
         return True
 
     # -- submission ----------------------------------------------------

@@ -55,25 +55,11 @@ def _rebuild_registry(metric_records: list[dict]) -> MetricsRegistry:
 
 
 def _render_prometheus_records(metric_records: list[dict]) -> str:
-    from ..obs.export import _prom_labels, _prom_name
+    # one renderer for live registries and recorded dumps: escaping and
+    # histogram _sum/_count handling cannot drift between the two paths
+    from ..obs.export import render_prometheus_snapshots
 
-    lines: list[str] = []
-    for snap in metric_records:
-        name = _prom_name(snap["name"])
-        labels = snap.get("labels") or {}
-        kind = snap.get("metric_kind", "counter")
-        if kind in ("counter", "gauge"):
-            lines.append(f"# TYPE {name} {kind}")
-            lines.append(f"{name}{_prom_labels(labels)} {snap['value']:.10g}")
-        else:
-            lines.append(f"# TYPE {name} summary")
-            for q, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
-                qlabels = dict(labels)
-                qlabels["quantile"] = q
-                lines.append(f"{name}{_prom_labels(qlabels)} {snap[key]:.10g}")
-            lines.append(f"{name}_sum{_prom_labels(labels)} {snap['sum']:.10g}")
-            lines.append(f"{name}_count{_prom_labels(labels)} {snap['count']}")
-    return "\n".join(lines) + ("\n" if lines else "")
+    return render_prometheus_snapshots(metric_records)
 
 
 def _frame_table(frames: list[dict]) -> str:

@@ -34,6 +34,7 @@ def _load(name: str):
         ("serve_sharded", "shards"),
         ("batch_sweep", "speedup"),
         ("condensed_dse", "smaller"),
+        ("health_demo", "blackbox written"),
     ],
 )
 def test_example_runs(capsys, name, marker):

@@ -1,0 +1,105 @@
+"""Golden-file tests for the console renderers (obsreport / obstop).
+
+The fixture ``tests/data/blackbox_fixture.jsonl`` is a checked-in
+repro-obs-v1 blackbox (spans, health events, metric records — including
+label values with backslashes, quotes and newlines — and a ring
+snapshot).  The goldens pin the exact console output: renderer changes
+that alter formatting must update the goldens deliberately, and the
+Prometheus golden doubles as the label-escaping contract.
+
+Regenerate after an intentional format change by re-running each CLI
+against the fixture and replacing the path with ``<fixture>``.
+"""
+
+import io
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.tools import obsreport, obstop
+
+DATA = Path(__file__).parent / "data"
+FIXTURE = DATA / "blackbox_fixture.jsonl"
+
+
+def _normalize(text: str) -> str:
+    return text.replace(str(FIXTURE), "<fixture>")
+
+
+def _run(main, argv) -> str:
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        rc = main(argv)
+    assert rc == 0
+    return _normalize(buf.getvalue())
+
+
+def _golden(name: str) -> str:
+    return (DATA / name).read_text(encoding="utf-8")
+
+
+class TestObsreportGoldens:
+    def test_full_report_matches_golden(self):
+        assert _run(obsreport.main, [str(FIXTURE)]) == _golden(
+            "golden_obsreport_full.txt"
+        )
+
+    def test_metrics_section_matches_golden(self):
+        assert _run(obsreport.main, [str(FIXTURE), "--metrics"]) == _golden(
+            "golden_obsreport_metrics.txt"
+        )
+
+    def test_prometheus_rendering_matches_golden(self):
+        out = _run(obsreport.main, [str(FIXTURE), "--prometheus"])
+        assert out == _golden("golden_obsreport_prometheus.txt")
+        # the escaping contract, spelled out: the raw label values
+        # contain a backslash path, quotes and a newline
+        assert r'path="C:\\tmp\\\"x\""' in out
+        assert r'msg="line1\nline2"' in out
+        # histograms expose _sum and _count series
+        assert "serving_latency_seconds_sum 0.42" in out
+        assert "serving_latency_seconds_count 14" in out
+
+    def test_traces_only_shows_flames(self):
+        out = _run(obsreport.main, [str(FIXTURE), "--traces"])
+        assert "== traces ==" in out and "== metrics ==" not in out
+        assert "dse.step2.round" in out and "[ERROR]" in out
+
+    def test_max_depth_truncates(self):
+        out = _run(obsreport.main, [str(FIXTURE), "--traces", "--max-depth", "1"])
+        assert "serving.batch" in out and "scenario.solve" not in out
+
+
+class TestObstopGolden:
+    def test_dashboard_matches_golden(self, monkeypatch):
+        # the event tail renders wall-clock stamps via localtime: pin the
+        # timezone so the golden is machine-independent
+        monkeypatch.setenv("TZ", "UTC")
+        time.tzset()
+        try:
+            assert _run(obstop.main, [str(FIXTURE)]) == _golden(
+                "golden_obstop.txt"
+            )
+        finally:
+            monkeypatch.undo()
+            time.tzset()
+
+    def test_max_events_truncates_tail(self):
+        out = _run(obstop.main, [str(FIXTURE), "--max-events", "1"])
+        assert "(2 total)" in out
+        assert "shard.lost" not in out.split("recent health events")[1]
+        assert "slo.burn" in out
+
+    def test_snapshot_fallback_without_metric_records(self, tmp_path):
+        # a blackbox holding only ring snapshots renders the newest ring
+        keep = [
+            line for line in FIXTURE.read_text().splitlines()
+            if '"kind": "metric"' not in line
+        ]
+        stripped = tmp_path / "rings_only.jsonl"
+        stripped.write_text("\n".join(keep) + "\n")
+        out = _run(obstop.main, [str(stripped)])
+        assert "serving.requests_total" in out
+        assert "12" in out          # the ring value, not the live 14
