@@ -14,7 +14,9 @@ IEEE-118 and the WECC-scale synthetic interconnection), the PR-8
 serving-capacity curve (open-loop Poisson load against a direct service,
 a one-shard router and a two-shard router), and the PR-9 health-plane
 overhead (obs + flight recorder + monitor loop on the warm DSE frame
-loop) — and writes the numbers to ``BENCH_pr9.json`` at the repository
+loop), and the PR-10 recovery plane (checkpoint/heartbeat overhead on
+the live frame loop plus frames-to-recovery after seeded site kills) —
+and writes the numbers to ``BENCH_pr10.json`` at the repository
 root::
 
     PYTHONPATH=src python benchmarks/record_bench.py
@@ -80,6 +82,10 @@ from bench_batch_sweep import (  # noqa: E402
 from bench_condensation import measure_condensation  # noqa: E402
 from bench_serving_capacity import measure_serving_capacity  # noqa: E402
 from bench_fault_overhead import measure_fault_overhead  # noqa: E402
+from bench_recovery import (  # noqa: E402
+    measure_frames_to_recovery,
+    measure_recovery_overhead,
+)
 from bench_obs_overhead import measure_obs_overhead  # noqa: E402
 from bench_scaleout_throughput import (  # noqa: E402
     backend_specs,
@@ -100,7 +106,7 @@ from repro.grid import run_ac_power_flow  # noqa: E402
 from repro.grid.cases import case118  # noqa: E402
 from repro.measurements import full_placement, generate_measurements  # noqa: E402
 
-OUT = ROOT / "BENCH_pr9.json"
+OUT = ROOT / "BENCH_pr10.json"
 
 
 def _setup118():
@@ -347,6 +353,30 @@ def _condensation_gate(cond: dict, cores: int | None) -> tuple[bool, str]:
     return ok, f"{summary} (need parity <= 1e-8, >= 5x bytes, > 1x step2)"
 
 
+def _recovery_gate(ov: dict, rec: dict, cores: int | None) -> tuple[bool, str]:
+    """≤5% recovery-plane (checkpoints + heartbeats) overhead on the
+    live frame loop, gated on ≥ 2 cores; bit-identical clean outputs and
+    full recovery from every injected site kill are required on every
+    host."""
+    summary = (
+        f"recovery overhead {ov['overhead_frac'] * 100:+.2f}%, "
+        f"bit-identical={ov['bit_identical']}, "
+        f"frames-to-recovery mean {rec['mean_frames_to_recovery']:.1f} "
+        f"max {rec['max_frames_to_recovery']}"
+    )
+    if not ov["bit_identical"]:
+        return False, f"gate failed: clean recovery-on run diverged ({summary})"
+    if not rec["all_recovered"] or rec["max_abs_state_delta"] > 1e-7:
+        return False, (
+            f"gate failed: a site kill did not recover "
+            f"(delta {rec['max_abs_state_delta']:.1e}, {summary})"
+        )
+    if (cores or 1) < 2:
+        return True, f"gate skipped: {cores} core(s) < 2 (recorded: {summary})"
+    ok = ov["overhead_frac"] <= 0.05
+    return ok, f"{summary} (need <= +5.00%)"
+
+
 def _serving_gate(cap: dict) -> tuple[bool, str]:
     """Every offered request resolves (zero hung / untyped failures) on
     every host; on ≥ 2 cores the two-shard router must sustain ≥ 1.5× the
@@ -450,8 +480,17 @@ def main() -> int:
     serving_ok, serving_msg = _serving_gate(capacity)
     print(f"  {serving_msg}")
 
+    print("running recovery plane (PR-10, overhead + site-kill failover) ...")
+    recovery_overhead = measure_recovery_overhead()
+    print(f"  off {recovery_overhead['recovery_off_time_s'] * 1e3:.1f} ms  "
+          f"on {recovery_overhead['recovery_on_time_s'] * 1e3:.1f} ms")
+    frames_to_recovery = measure_frames_to_recovery()
+    recovery_ok, recovery_msg = _recovery_gate(
+        recovery_overhead, frames_to_recovery, os.cpu_count())
+    print(f"  {recovery_msg}")
+
     payload = {
-        "pr": 9,
+        "pr": 10,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cores": os.cpu_count(),
@@ -474,6 +513,9 @@ def main() -> int:
         "condensation_gate": cond_msg,
         "serving_capacity": capacity,
         "serving_capacity_gate": serving_msg,
+        "recovery_overhead": recovery_overhead,
+        "frames_to_recovery": frames_to_recovery,
+        "recovery_gate": recovery_msg,
     }
     OUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT}")

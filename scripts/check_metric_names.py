@@ -1,6 +1,7 @@
 #!/usr/bin/env python
 """Lint: every metric/span name used in src/ must appear in the
-observability taxonomy (docs/observability.md).
+observability taxonomy (docs/observability.md, plus the recovery-plane
+names in docs/recovery.md).
 
 The docs are the contract obsreport/obstop users and dashboard configs
 depend on; PR 8 renamed ``serving.shed_total`` to ``serving.shed{cause}``
@@ -26,7 +27,10 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
-DOCS = ROOT / "docs" / "observability.md"
+DOCS = (
+    ROOT / "docs" / "observability.md",
+    ROOT / "docs" / "recovery.md",
+)
 
 #: literal first-argument names of metric constructors
 _METRIC_RE = re.compile(
@@ -56,15 +60,17 @@ def collect_src_names() -> dict[str, set[str]]:
 
 
 def collect_doc_names() -> set[str]:
-    """Every taxonomy-shaped name mentioned anywhere in the doc (prose,
+    """Every taxonomy-shaped name mentioned anywhere in the docs (prose,
     backticked lists, and the span-tree code fences)."""
-    text = DOCS.read_text(encoding="utf-8")
+    text = "\n".join(d.read_text(encoding="utf-8") for d in DOCS)
     return {m.group(1) for m in _DOC_NAME_RE.finditer(text)}
 
 
 def main() -> int:
-    if not DOCS.exists():
-        print(f"check_metric_names: missing {DOCS}", file=sys.stderr)
+    missing = [d for d in DOCS if not d.exists()]
+    if missing:
+        for d in missing:
+            print(f"check_metric_names: missing {d}", file=sys.stderr)
         return 1
     used = collect_src_names()
     documented = collect_doc_names()
@@ -96,7 +102,7 @@ def main() -> int:
     if undocumented:
         print(
             "check_metric_names: FAIL — names used in src/ but absent "
-            "from docs/observability.md:",
+            "from the docs taxonomy (observability.md / recovery.md):",
             file=sys.stderr,
         )
         for name, files in undocumented.items():

@@ -45,4 +45,7 @@ python examples/serve_sharded.py --tiny
 echo "== health plane smoke (watchdog, SLO burn, telemetry, blackbox) =="
 python examples/health_demo.py
 
+echo "== recovery smoke (site kill, lease expiry, epoch-fenced failover) =="
+python examples/recovery_demo.py
+
 echo "verify: OK"

@@ -10,6 +10,12 @@ from .executor import (
     TaskSpec,
     ThreadExecutor,
 )
+from .recovery import (
+    MembershipView,
+    RecoveryConfig,
+    RecoveryCoordinator,
+    SubsystemCheckpoint,
+)
 from .simevent import Process, SimEngine, SimEvent, Timeout
 from .simmpi import SimComm, SimMessage
 from .topology import ClusterSpec, ClusterTopology, LinkSpec, pnnl_testbed
@@ -36,4 +42,8 @@ __all__ = [
     "ExchangeTiming",
     "SimExecutor",
     "ThreadExecutor",
+    "SubsystemCheckpoint",
+    "MembershipView",
+    "RecoveryConfig",
+    "RecoveryCoordinator",
 ]

@@ -23,6 +23,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from ..cluster.recovery import (
+    RecoveryConfig,
+    RecoveryCoordinator,
+    SubsystemCheckpoint,
+    heartbeat_payload,
+)
 from ..dse.algorithm import DistributedStateEstimator
 from ..dse.decomposition import Decomposition
 from ..estimation.wls import WlsEstimator
@@ -39,6 +45,10 @@ from ..middleware.router import MiddlewareFabric
 
 __all__ = ["LiveSiteStats", "LiveDseResult", "LiveDseRuntime"]
 
+#: per-site cap on retained degraded-round indices (the full count lives
+#: in ``degraded_total``) — a week-long soak stays O(1) memory per site
+DEGRADED_ROUNDS_RETAINED = 64
+
 
 @dataclass
 class LiveSiteStats:
@@ -51,8 +61,52 @@ class LiveSiteStats:
     bytes_received: int = 0
     messages_received: int = 0
     #: Step-2 rounds this site completed without its full neighbour set
-    #: (missed/corrupt updates, failed sends, blown round deadline)
+    #: (missed/corrupt updates, failed sends, blown round deadline);
+    #: bounded to the most recent :data:`DEGRADED_ROUNDS_RETAINED` entries
     degraded_rounds: list[int] = field(default_factory=list)
+    #: total degraded rounds, including any aged out of the capped list
+    degraded_total: int = 0
+    #: subsystem ids promoted onto this site by failover (recovery mode)
+    promoted_subsystems: list[int] = field(default_factory=list)
+    checkpoints_sent: int = 0
+    checkpoint_bytes: int = 0
+
+    def record_degraded(self, r: int) -> None:
+        """Record a degraded round; the retained list keeps only the most
+        recent entries so long-running soaks don't grow without bound."""
+        self.degraded_total += 1
+        self.degraded_rounds.append(r)
+        if len(self.degraded_rounds) > DEGRADED_ROUNDS_RETAINED:
+            del self.degraded_rounds[
+                : len(self.degraded_rounds) - DEGRADED_ROUNDS_RETAINED
+            ]
+
+
+class _HostedSub:
+    """Mutable Step-2 state for one subsystem hosted on a site thread
+    (recovery mode hosts can carry more than their own after failover)."""
+
+    __slots__ = ("s", "vm_loc", "va_loc", "prev2", "lin0")
+
+    def __init__(self, s: int):
+        self.s = s
+        self.vm_loc: dict[int, float] = {}
+        self.va_loc: dict[int, float] = {}
+        self.prev2: tuple | None = None  # (Vm, Va) over the extended net
+        self.lin0: tuple | None = None  # condensation linearisation point
+
+    @classmethod
+    def from_checkpoint(cls, ck: SubsystemCheckpoint) -> "_HostedSub":
+        w = cls(ck.subsystem)
+        w.vm_loc = {int(b): float(v) for b, v in zip(ck.own_ids, ck.own_vm)}
+        w.va_loc = {int(b): float(v) for b, v in zip(ck.own_ids, ck.own_va)}
+        if ck.warm_vm is not None:
+            w.prev2 = (ck.warm_vm, ck.warm_va)
+        if ck.lin_vm is not None:
+            # float64 state round-trips the wire bit-exactly, so this hits
+            # the donor's factorisation cache — no re-condensation
+            w.lin0 = (ck.lin_vm, ck.lin_va)
+        return w
 
 
 @dataclass
@@ -67,6 +121,10 @@ class LiveDseResult:
     errors: list[str] = field(default_factory=list)
     #: site id -> Step-2 rounds the site ran degraded (empty when clean)
     degraded: dict[int, list[int]] = field(default_factory=dict)
+    #: subsystem ids re-hosted by failover (recovery mode; empty otherwise)
+    recovered_subsystems: list[int] = field(default_factory=list)
+    #: site ids whose lease expired during the run
+    lost_sites: list[int] = field(default_factory=list)
 
     @property
     def degraded_subsystems(self) -> list[int]:
@@ -125,6 +183,17 @@ class LiveDseRuntime:
         ids ride only the round-0 frames, later rounds are values-only
         over the receiver's a-priori ordering.  Requires
         ``use_cache=True``.
+    recovery:
+        Self-healing mode (a :class:`~repro.cluster.recovery.RecoveryConfig`;
+        ``None`` — the default — is bitwise-inert): every round each site
+        replicates a compact checkpoint of each subsystem it hosts to the
+        subsystem's hash-ring successor over ``FLAG_CHECKPOINT`` frames;
+        a site whose checkpoints stop arriving for ``lease_rounds``
+        rounds is declared lost, its subsystems are promoted onto the
+        successors holding their replicas, and the mux hub fences the
+        zombie's epoch-stamped frames so it can never corrupt a
+        post-failover round.  Requires ``fast=True`` and
+        ``use_cache=True``.
     """
 
     def __init__(
@@ -140,11 +209,18 @@ class LiveDseRuntime:
         use_cache: bool = True,
         fast: bool = True,
         condense: bool = False,
+        recovery: RecoveryConfig | None = None,
     ):
         if condense and not use_cache:
             raise ValueError(
                 "condense=True requires use_cache=True (the condensed "
                 "operator lives in the per-site caches)"
+            )
+        if recovery is not None and not (fast and use_cache):
+            raise ValueError(
+                "recovery needs fast=True (checkpoint/epoch frames ride "
+                "the mux hub) and use_cache=True (promoted subsystems "
+                "reuse the shared per-site estimator caches)"
             )
         # Reuse the in-process DSE's subproblem construction and checks
         # (including its per-subsystem estimator caches).
@@ -162,6 +238,7 @@ class LiveDseRuntime:
         self.use_cache = use_cache
         self.fast = fast
         self.condense = condense
+        self.recovery = recovery
 
     # ------------------------------------------------------------------
     def run(
@@ -191,10 +268,15 @@ class LiveDseRuntime:
                 raise ValueError("z override length mismatch")
 
         names = [f"se{s}" for s in range(dec.m)]
-        pairs = []
+        pairs: list[tuple[str, str]] | None = []
         for u, v in dec.quotient_edges():
             pairs.append((f"se{u}", f"se{v}"))
             pairs.append((f"se{v}", f"se{u}"))
+        recovery = self.recovery
+        if recovery is not None:
+            # failover can rebind any (publisher, host) pair, so the
+            # fabric wires the full ordered-pair mesh up front
+            pairs = None
 
         Vm = np.ones(net.n_bus)
         Va = np.zeros(net.n_bus)
@@ -205,6 +287,13 @@ class LiveDseRuntime:
         # Each site writes only its own buses; reads of neighbour values
         # happen via the wire, never via these arrays.
         result_lock = threading.Lock()
+        coord: RecoveryCoordinator | None = None
+        if recovery is not None:
+            coord = RecoveryCoordinator(
+                sites={name: i for i, name in enumerate(names)},
+                hosted={f"se{s}": [s] for s in range(dec.m)},
+                config=recovery,
+            )
 
         watches: dict[int, object] = {}
 
@@ -224,7 +313,10 @@ class LiveDseRuntime:
                 # site threads start with a fresh contextvars context, so
                 # the root span is handed over explicitly
                 with obs.span("live.site", parent=root_ctx, s=s):
-                    _site_body(s, fabric)
+                    if coord is None:
+                        _site_body(s, fabric)
+                    else:
+                        _site_body_rec(s, fabric)
             except Exception as exc:  # crash must not deadlock the barrier
                 with err_lock:
                     errors.append(f"site {s} failed: {exc!r}")
@@ -388,7 +480,7 @@ class LiveDseRuntime:
                             known_vm[int(b)] = float(vm_b)
                             known_va[int(b)] = float(va_b)
                 if degraded_round:
-                    st.degraded_rounds.append(r)
+                    st.record_degraded(r)
                     if obs.enabled():
                         obs.metrics().counter(
                             "live.degraded_rounds_total"
@@ -485,9 +577,348 @@ class LiveDseRuntime:
                     Vm[b] = vm_loc[int(b)]
                     Va[b] = va_loc[int(b)]
 
+        def _make_ckpt(w: _HostedSub, site_idx: int, rnd: int):
+            own_ = self._dse.sub1[w.s][2]
+            own_ids = np.asarray(own_, dtype=np.int64)
+            return SubsystemCheckpoint(
+                subsystem=w.s, site=site_idx, epoch=coord.epoch, round=rnd,
+                own_ids=own_ids,
+                own_vm=np.array([w.vm_loc[int(b)] for b in own_ids]),
+                own_va=np.array([w.va_loc[int(b)] for b in own_ids]),
+                warm_vm=None if w.prev2 is None else np.asarray(w.prev2[0], float),
+                warm_va=None if w.prev2 is None else np.asarray(w.prev2[1], float),
+                lin_vm=None if w.lin0 is None else w.lin0[0],
+                lin_va=None if w.lin0 is None else w.lin0[1],
+            )
+
+        def _site_body_rec(s: int, fabric: MiddlewareFabric) -> None:
+            # Recovery-aware variant of _site_body: a site can host more
+            # than one subsystem after failover, addresses frames by the
+            # coordinator's live subsystem→site binding, and replicates a
+            # checkpoint per hosted subsystem every round.  Numerics per
+            # subsystem are identical to the base path.
+            me = f"se{s}"
+            st = stats[s]
+            subnet1, _, own, ms1 = self._dse.sub1[s]
+
+            w = _HostedSub(s)
+            w.vm_loc = {int(b): 1.0 for b in own}
+            w.va_loc = {int(b): 0.0 for b in own}
+            hosted: dict[int, _HostedSub] = {s: w}
+            nbrs_of = {s: [int(b) for b in dec.neighbors(s)]}
+            known_vm: dict[int, float] = {}
+            known_va: dict[int, float] = {}
+
+            # ---- Step 1 ----
+            t0 = time.perf_counter()
+            with obs.span("live.step1", s=s):
+                est1 = self._dse._est1[s]  # recovery requires use_cache
+                z1 = self._dse._step1_z(s, z) if z is not None else None
+                res1 = est1.estimate(tol=tol, z=z1)
+            st.step1_time = time.perf_counter() - t0
+            for i, b in enumerate(own):
+                w.vm_loc[int(b)] = float(res1.Vm[i])
+                w.va_loc[int(b)] = float(res1.Va[i])
+
+            # Bootstrap replica seed (round -1), handed to the coordinator
+            # before the first barrier: a replica exists before any data
+            # frame can kill a site, and before any ordering race on the
+            # hub — per-round checkpoints ride the fabric from round 0 on.
+            succ = coord.successor(s)
+            if succ is not None:
+                coord.ingest(succ, _make_ckpt(w, s, -1).to_payload())
+
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                return
+
+            # ---- Step 2 rounds ----
+            for r in range(rounds):
+                tok = watches.get(s)
+                if tok is not None:
+                    obs.health().beat(tok)
+                for ck in coord.begin_round(me, r):
+                    nw = _HostedSub.from_checkpoint(ck)
+                    hosted[nw.s] = nw
+                    nbrs_of[nw.s] = [int(b) for b in dec.neighbors(nw.s)]
+                    st.promoted_subsystems.append(nw.s)
+                    if obs.health_enabled():
+                        obs.health().site_recovered(
+                            me, subsystem=nw.s, round=r,
+                            checkpoint_round=ck.round,
+                        )
+                # shed subsystems promoted away from us: our lease expired
+                # while we were cut off, and the hub now fences our frames
+                for s_ in [k for k in hosted if not coord.owns(me, k)]:
+                    hosted.pop(s_)
+                if not hosted:
+                    # passive zombie: nothing left to solve; keep the
+                    # barrier cadence so the lockstep schedule holds
+                    try:
+                        barrier.wait()
+                    except threading.BrokenBarrierError:
+                        return
+                    continue
+
+                # Lease beat to every live peer: checkpoints reach only
+                # the ring successor, so a lease riding on them alone
+                # would starve the moment that successor died.
+                hb = heartbeat_payload(s, coord.epoch, r)
+                for peer in names:
+                    if peer == me or coord.is_lost(peer):
+                        continue
+                    try:
+                        fabric.send_checkpoint(me, peer, hb, epoch=coord.epoch)
+                    except (MiddlewareError, ConnectionError, OSError):
+                        pass  # a dead peer's inbox is not our liveness
+
+                degraded_round = False
+                with obs.span("live.exchange", s=s, round=r):
+                    round_t1 = (
+                        None
+                        if self.round_deadline is None
+                        else time.monotonic() + self.round_deadline
+                    )
+                    parts = []
+                    for s_, ws in sorted(hosted.items()):
+                        for nb in nbrs_of[s_]:
+                            dst = coord.site_of(nb)
+                            if self.condense:
+                                ids = self._dse._nbr_pub[s_][nb]
+                                vals = (
+                                    np.array([ws.vm_loc[int(b)] for b in ids]),
+                                    np.array([ws.va_loc[int(b)] for b in ids]),
+                                )
+                            else:
+                                ids = self._dse.exchange_sets[s_]
+                                vals = (
+                                    np.array([ws.vm_loc[int(b)] for b in ids]),
+                                    np.array([ws.va_loc[int(b)] for b in ids]),
+                                )
+                            if dst == me:
+                                # co-hosted neighbour: absorb locally
+                                # (self-pairs are not wired on the fabric)
+                                for b, vm_b, va_b in zip(ids, *vals):
+                                    known_vm[int(b)] = float(vm_b)
+                                    known_va[int(b)] = float(va_b)
+                                continue
+                            if self.condense:
+                                # ids ride every round in recovery mode: a
+                                # frame must stay self-describing when the
+                                # receiving host changes under failover
+                                payload = pack_condensed_update(
+                                    s_, ids, vals[0], vals[1],
+                                    values_only=False,
+                                )
+                            else:
+                                payload = pack_state_update(
+                                    ids.astype(np.int64), vals[0], vals[1]
+                                )
+                            parts.append((dst, payload))
+                    try:
+                        fabric.send_many(me, parts, epoch=coord.epoch)
+                        st.bytes_sent += sum(len(p) for _, p in parts)
+                    except (MiddlewareError, ConnectionError, OSError) as exc:
+                        with err_lock:
+                            errors.append(
+                                f"site {s} round {r}: send failed: {exc!r}"
+                            )
+                        degraded_round = True
+
+                    expected = sum(
+                        1
+                        for s_ in hosted
+                        for nb in nbrs_of[s_]
+                        if coord.site_of(nb) != me
+                    )
+                    for _ in range(expected):
+                        timeout = self.recv_timeout
+                        if round_t1 is not None:
+                            remaining = round_t1 - time.monotonic()
+                            if remaining <= 0:
+                                with err_lock:
+                                    errors.append(
+                                        f"site {s} round {r}: "
+                                        "round deadline exceeded"
+                                    )
+                                degraded_round = True
+                                break
+                            timeout = min(timeout, remaining)
+                        try:
+                            raw = fabric.recv(me, timeout=timeout)
+                        except TimeoutError:
+                            with err_lock:
+                                errors.append(
+                                    f"site {s} round {r}: "
+                                    "neighbour update timed out"
+                                )
+                            degraded_round = True
+                            continue
+                        except (ClientClosed, MiddlewareError) as exc:
+                            with err_lock:
+                                errors.append(
+                                    f"site {s} round {r}: recv failed: "
+                                    f"{exc!r}"
+                                )
+                            degraded_round = True
+                            break
+                        st.bytes_received += len(raw)
+                        st.messages_received += 1
+                        try:
+                            if self.condense:
+                                _src, _vo, ids, vms, vas = (
+                                    unpack_condensed_update(raw, copy=False)
+                                )
+                                if ids is None:
+                                    raise FrameError(
+                                        "values-only condensed frame in "
+                                        "recovery mode"
+                                    )
+                            else:
+                                ids, vms, vas = unpack_state_update(
+                                    raw, copy=False
+                                )
+                        except (FrameError, ValueError, KeyError) as exc:
+                            with err_lock:
+                                errors.append(
+                                    f"site {s} round {r}: corrupt update: "
+                                    f"{exc!r}"
+                                )
+                            degraded_round = True
+                            continue
+                        for b, vm_b, va_b in zip(ids, vms, vas):
+                            known_vm[int(b)] = float(vm_b)
+                            known_va[int(b)] = float(va_b)
+                if degraded_round:
+                    st.record_degraded(r)
+                    if obs.enabled():
+                        obs.metrics().counter(
+                            "live.degraded_rounds_total"
+                        ).inc()
+                    if obs.health_enabled():
+                        obs.health().frame_degraded(me, round=r)
+
+                for s_, ws in sorted(hosted.items()):
+                    subnet2, bmap2, xbuses, ext, ms2 = self._dse.sub2[s_]
+                    ext_known = [int(b) for b in ext if int(b) in known_vm]
+                    cached_path = len(ext_known) == len(ext)
+                    if cached_path:
+                        est2, z_tmpl, rows_vm, rows_va, src, rows_ms2 = (
+                            self._dse._step2_cache[s_]
+                        )
+                        z2 = z_tmpl.copy()
+                        if z is not None:
+                            z2[rows_ms2] = self._dse._step2_meas_z(s_, z)
+                        z2[rows_vm] = [known_vm[int(b)] for b in src]
+                        z2[rows_va] = [known_va[int(b)] for b in src]
+                    else:
+                        from ..dse.pseudo import pseudo_measurements
+
+                        pseudo = pseudo_measurements(
+                            bmap2[np.array(ext_known, dtype=np.int64)]
+                            if ext_known else np.zeros(0, np.int64),
+                            np.array([known_vm[b] for b in ext_known]),
+                            np.array([known_va[b] for b in ext_known]),
+                        )
+                        ms2_round = (
+                            ms2.with_values(self._dse._step2_meas_z(s_, z))
+                            if z is not None
+                            else ms2
+                        )
+                        est2 = WlsEstimator(
+                            subnet2, ms2_round.merged_with(pseudo),
+                            solver=self.solver,
+                        )
+                        z2 = None
+
+                    if ws.prev2 is not None:
+                        x0_vm = ws.prev2[0].copy()
+                        x0_va = ws.prev2[1].copy()
+                        if ext_known:
+                            idx = bmap2[np.array(ext_known, dtype=np.int64)]
+                            x0_vm[idx] = [known_vm[b] for b in ext_known]
+                            x0_va[idx] = [known_va[b] for b in ext_known]
+                    else:
+                        x0_vm = np.ones(len(xbuses))
+                        x0_va = np.zeros(len(xbuses))
+                        for i, b in enumerate(xbuses):
+                            b = int(b)
+                            if b in ws.vm_loc:
+                                x0_vm[i], x0_va[i] = ws.vm_loc[b], ws.va_loc[b]
+                            elif b in known_vm:
+                                x0_vm[i], x0_va[i] = known_vm[b], known_va[b]
+                        if self.condense:
+                            ws.lin0 = (x0_vm.copy(), x0_va.copy())
+
+                    kwargs = (
+                        {"lin_point": ws.lin0}
+                        if self.condense and cached_path and ws.lin0 is not None
+                        else {}
+                    )
+                    t0 = time.perf_counter()
+                    with obs.span("live.step2", s=s_, round=r):
+                        res2 = est2.estimate(
+                            x0=(x0_vm, x0_va), tol=tol, z=z2, **kwargs
+                        )
+                    st.step2_times.append(time.perf_counter() - t0)
+                    ws.prev2 = (res2.Vm, res2.Va)
+
+                    scope = self._dse.exchange_sets[s_]
+                    local = bmap2[scope]
+                    for g, l in zip(scope, local):
+                        ws.vm_loc[int(g)] = float(res2.Vm[l])
+                        ws.va_loc[int(g)] = float(res2.Va[l])
+
+                # ---- checkpoint replication ----
+                if r % recovery.checkpoint_every == 0:
+                    for s_, ws in sorted(hosted.items()):
+                        succ = coord.successor(s_)
+                        if succ is None or succ == me:
+                            continue
+                        pay = _make_ckpt(ws, s, r).to_payload()
+                        try:
+                            fabric.send_checkpoint(
+                                me, succ, pay, epoch=coord.epoch
+                            )
+                        except (MiddlewareError, ConnectionError, OSError) as exc:
+                            with err_lock:
+                                errors.append(
+                                    f"site {s} round {r}: checkpoint send "
+                                    f"failed: {exc!r}"
+                                )
+                            continue
+                        st.checkpoints_sent += 1
+                        st.checkpoint_bytes += len(pay)
+                        if obs.enabled():
+                            m = obs.metrics()
+                            m.counter("recovery.checkpoints_sent_total").inc()
+                            m.counter(
+                                "recovery.checkpoint_bytes_total"
+                            ).inc(len(pay))
+
+                try:
+                    barrier.wait()
+                except threading.BrokenBarrierError:
+                    return
+
+            with result_lock:
+                for s_, ws in hosted.items():
+                    for b in self._dse.sub1[s_][2]:
+                        Vm[b] = ws.vm_loc[int(b)]
+                        Va[b] = ws.va_loc[int(b)]
+
         with MiddlewareFabric(
             names, pairs, use_tcp=self.use_tcp, fast=self.fast
         ) as fabric:
+            if coord is not None:
+                # replica sinks + zombie fence must be live before the
+                # first site thread can send a frame
+                for name in names:
+                    fabric.set_checkpoint_sink(
+                        name, lambda p, _n=name: coord.ingest(_n, p)
+                    )
+                fabric.set_epoch_fence(coord.fence)
             with obs.span(
                 "live.run", m=dec.m, rounds=rounds,
                 tcp=self.use_tcp, fast=self.fast,
@@ -518,4 +949,8 @@ class LiveDseRuntime:
                 for s, st in stats.items()
                 if st.degraded_rounds
             },
+            recovered_subsystems=sorted(coord.recovered) if coord else [],
+            lost_sites=(
+                sorted(int(n[2:]) for n in coord.lost_sites) if coord else []
+            ),
         )

@@ -94,6 +94,7 @@ class DseSession:
         self._prev_vm = np.ones(arch.net.n_bus)
         self._prev_va = np.zeros(arch.net.n_bus)
         self._frame_no = 0
+        self._prev_degraded: set[int] = set()
         self.reports: list[FrameReport] = []
 
     # ------------------------------------------------------------------
@@ -231,12 +232,23 @@ class DseSession:
             report.va_rmse_vs_truth = err["va_rmse"]
         report.bad_data = bad_data_report
         report.degraded_subsystems = sorted(degraded)
+        # a subsystem degraded last frame that completed cleanly this
+        # frame has recovered (failover promotion, or the fault cleared)
+        recovered = sorted(self._prev_degraded - degraded)
+        report.recovered_subsystems = recovered
+        self._prev_degraded = set(degraded)
         if degraded and obs.enabled():
             obs.metrics().counter("session.degraded_frames_total").inc()
         if degraded and obs.health_enabled():
             obs.health().frame_degraded(
                 "session", frame=self._frame_no,
                 subsystems=sorted(degraded),
+            )
+        if recovered and obs.enabled():
+            obs.metrics().counter("session.recovered_frames_total").inc()
+        if recovered and obs.health_enabled():
+            obs.health().site_recovered(
+                "session", frame=self._frame_no, subsystems=recovered,
             )
 
         self._prev_vm = result.Vm

@@ -119,6 +119,9 @@ class FrameReport:
     #: subsystems that completed this frame degraded (failed solves,
     #: missed exchanges, dead middleware peers); empty on a clean frame
     degraded_subsystems: list = field(default_factory=list)
+    #: subsystems that were degraded last frame and completed cleanly this
+    #: frame (failover promotion landed, or the fault cleared)
+    recovered_subsystems: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """JSON-ready dict; ``bad_data`` is flattened to its summary
@@ -157,6 +160,9 @@ class FrameReport:
             "centralized_sim_time": self.centralized_sim_time,
             "bad_data": bad,
             "degraded_subsystems": [int(s) for s in self.degraded_subsystems],
+            "recovered_subsystems": [
+                int(s) for s in self.recovered_subsystems
+            ],
         }
 
     @classmethod
@@ -181,5 +187,8 @@ class FrameReport:
             bad_data=d.get("bad_data"),
             degraded_subsystems=[
                 int(s) for s in d.get("degraded_subsystems", [])
+            ],
+            recovered_subsystems=[
+                int(s) for s in d.get("recovered_subsystems", [])
             ],
         )

@@ -188,6 +188,26 @@ class CondensedStep2:
             np.array(va, dtype=float, copy=True),
         )
 
+    def lin_point_cached(
+        self, lin_point: tuple[np.ndarray, np.ndarray] | None
+    ) -> bool:
+        """True when ``lin_point`` exactly matches the operator already
+        factored, i.e. :meth:`estimate` would reuse the factorization.
+
+        The recovery plane leans on this: a checkpointed linearisation
+        point round-trips the ``FLAG_CHECKPOINT`` wire form bit-exactly
+        (float64 both sides), so a failover successor restoring a donor's
+        checkpoint hits the cache instead of re-condensing the subsystem.
+        """
+        if lin_point is None:
+            return self.schur.factored
+        cached = self._lin_cache
+        return (
+            cached is not None
+            and np.array_equal(cached[0], lin_point[0])
+            and np.array_equal(cached[1], lin_point[1])
+        )
+
     # ------------------------------------------------------------------
     def estimate(
         self,

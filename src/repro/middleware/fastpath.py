@@ -37,7 +37,9 @@ from ..obs import SpanContext
 from .endpoints import parse_endpoint
 from .errors import SendFailed
 from .message import (
+    FLAG_CHECKPOINT,
     FLAG_CONTROL,
+    FLAG_EPOCH,
     FLAG_TELEMETRY,
     FLAG_TRACED,
     FrameError,
@@ -45,11 +47,13 @@ from .message import (
     MUX_VERSION,
     PeerClosed,
     StreamReader,
+    read_epoch,
     read_trace_context,
     recv_mux_frame,
     send_mux_frame,
     send_mux_frames,
     sendmsg_all,
+    strip_epoch,
     strip_trace_context,
 )
 from .transports import _size_socket_buffers
@@ -72,6 +76,23 @@ def _hop_span(flags: int, payload, src: int, dst: int):
         parent=SpanContext(trace_id, span_id, sampled),
         src=src, dst=dst, nbytes=len(payload),
     )
+
+
+def _fence_ok(fence, src: int, flags: int, payload) -> bool:
+    """Apply an epoch fence to an epoch-stamped frame.
+
+    A frame whose prefix can't be read is fenced (it claims an epoch it
+    can't prove); a fence callback that *raises* fails open — a broken
+    fence must not take down the data plane.
+    """
+    try:
+        epoch = read_epoch(payload, flags)
+    except FrameError:
+        return False
+    try:
+        return bool(fence(src, epoch))
+    except Exception:  # noqa: BLE001 - fence must not kill the hub
+        return True
 
 
 #: sentinel from :func:`_forward_fault`: swallow the frame entirely
@@ -119,6 +140,9 @@ class _TcpMuxLink:
         self._send_lock = threading.Lock()
         self.my_id = my_id
         self._deliver = deliver
+        #: optional ``callback(payload)`` for FLAG_CHECKPOINT frames; they
+        #: bypass the ordinary receive queue (recovery replica plane)
+        self.checkpoint_sink = None
         self._closed = False
         self._reader = threading.Thread(
             target=self._recv_loop, name=f"mux-link-{my_id}", daemon=True
@@ -143,6 +167,19 @@ class _TcpMuxLink:
                 except FrameError:
                     # corrupted-in-flight frame: drop it, keep the link
                     continue
+            if flags & FLAG_EPOCH:
+                try:
+                    payload = strip_epoch(payload)
+                except FrameError:
+                    continue
+            if flags & FLAG_CHECKPOINT:
+                sink = self.checkpoint_sink
+                if sink is not None:
+                    try:
+                        sink(payload)
+                    except Exception:  # noqa: BLE001 - sink must not kill the link
+                        pass
+                continue
             self._deliver(payload)
 
     def send(self, dst: int, payload, *, flags: int = 0) -> None:
@@ -194,13 +231,22 @@ class MuxRouter:
         self._waker_w: socket.socket | None = None
         self.endpoint: str | None = None
         self.frames_dropped = 0
+        self.frames_fenced = 0
         self._telemetry_sink = None
+        self._epoch_fence = None
 
     def set_telemetry_sink(self, callback) -> None:
         """``callback(payload: bytes)`` receives every FLAG_TELEMETRY
         frame at the hub (the aggregation point); such frames are
         consumed here and never forwarded to a destination."""
         self._telemetry_sink = callback
+
+    def set_epoch_fence(self, fence) -> None:
+        """``fence(src_id, epoch) -> bool`` is consulted for every
+        FLAG_EPOCH frame; a ``False`` verdict drops the frame at the hub
+        (stale-epoch rejection — a zombie site's frames never reach a
+        post-failover destination)."""
+        self._epoch_fence = fence
 
     # ------------------------------------------------------------------
     def start(self, url: str = "tcp://127.0.0.1:0") -> str:
@@ -293,6 +339,12 @@ class MuxRouter:
             return
         for flags, src, dst, payload in frames:
             if flags & FLAG_CONTROL:
+                stale = self._routes.get(src)
+                if stale is not None and stale is not sock:
+                    # the site re-dialed: the fresh registration wins, and
+                    # the stale socket is retired so no frame is ever
+                    # forwarded into the dead connection
+                    self._drop_conn(stale)
                 self._routes[src] = sock
                 header = MUX_HEADER.pack(MUX_VERSION, FLAG_CONTROL, 0, src, 0)
                 try:
@@ -311,6 +363,13 @@ class MuxRouter:
                 if obs.enabled():
                     obs.metrics().counter("mux.telemetry_frames_total").inc()
                 continue
+            if flags & FLAG_EPOCH and self._epoch_fence is not None:
+                if not _fence_ok(self._epoch_fence, src, flags, payload):
+                    with self._stats_lock:
+                        self.frames_fenced += 1
+                    if obs.enabled():
+                        obs.metrics().counter("mux.frames_fenced_total").inc()
+                    continue
             out = self._routes.get(dst)
             if out is None:
                 with self._stats_lock:
@@ -418,7 +477,10 @@ class InprocMuxRouter:
         self._stats_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self.frames_dropped = 0
+        self.frames_fenced = 0
         self._telemetry_sink = None
+        self._epoch_fence = None
+        self._ckpt_sinks: dict[int, object] = {}
         # ids hard-disconnected by fault injection: symmetric with the TCP
         # hub, where the closed socket kills both directions
         self._dead: set[int] = set()
@@ -426,6 +488,16 @@ class InprocMuxRouter:
     def set_telemetry_sink(self, callback) -> None:
         """Same contract as :meth:`MuxRouter.set_telemetry_sink`."""
         self._telemetry_sink = callback
+
+    def set_epoch_fence(self, fence) -> None:
+        """Same contract as :meth:`MuxRouter.set_epoch_fence`."""
+        self._epoch_fence = fence
+
+    def set_checkpoint_sink(self, dst_id: int, sink) -> None:
+        """``sink(payload)`` receives FLAG_CHECKPOINT frames addressed to
+        ``dst_id`` instead of its ordinary deliver callback (the TCP hub
+        forwards such frames; its links divert at the receiving edge)."""
+        self._ckpt_sinks[dst_id] = sink
 
     def start(self, url: str | None = None) -> str:
         self._thread = threading.Thread(
@@ -437,6 +509,10 @@ class InprocMuxRouter:
     def attach(self, my_id: int, deliver) -> _InprocMuxLink:
         if self._thread is None:
             raise RuntimeError("router not started")
+        # a re-attach is a fresh registration: revive a fault-disconnected
+        # id (socket parity — a re-dialed TCP link routes again after its
+        # new HELLO)
+        self._dead.discard(my_id)
         self._deliver[my_id] = deliver
         return _InprocMuxLink(self, my_id)
 
@@ -460,7 +536,15 @@ class InprocMuxRouter:
                 if obs.enabled():
                     obs.metrics().counter("mux.telemetry_frames_total").inc()
                 continue
-            deliver = self._deliver.get(dst)
+            if flags & FLAG_EPOCH and self._epoch_fence is not None:
+                if not _fence_ok(self._epoch_fence, src, flags, payload):
+                    with self._stats_lock:
+                        self.frames_fenced += 1
+                    if obs.enabled():
+                        obs.metrics().counter("mux.frames_fenced_total").inc()
+                    continue
+            is_ckpt = bool(flags & FLAG_CHECKPOINT)
+            deliver = self._ckpt_sinks.get(dst) if is_ckpt else self._deliver.get(dst)
             if deliver is None:
                 with self._stats_lock:
                     self.frames_dropped += 1
@@ -489,13 +573,22 @@ class InprocMuxRouter:
                         p = strip_trace_context(p)
                     except FrameError:
                         continue  # corrupted-in-flight frame
+                if flags & FLAG_EPOCH:
+                    try:
+                        p = strip_epoch(p)
+                    except FrameError:
+                        continue
                 delivered.append(p)
             for i, p in enumerate(delivered):
-                if hop is not None and i == 0:
-                    with hop:
+                try:
+                    if hop is not None and i == 0:
+                        with hop:
+                            deliver(p)
+                    else:
                         deliver(p)
-                else:
-                    deliver(p)
+                except Exception:  # noqa: BLE001 - a sink must not kill the hub
+                    if not is_ckpt:
+                        raise
             with self._stats_lock:
                 rec = self._stats.setdefault((src, dst), [0, 0])
                 rec[0] += 1

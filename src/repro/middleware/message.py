@@ -37,10 +37,16 @@ __all__ = [
     "FLAG_CONTROL",
     "FLAG_TRACED",
     "FLAG_TELEMETRY",
+    "FLAG_CHECKPOINT",
+    "FLAG_EPOCH",
     "TRACE_CTX",
+    "EPOCH_CTX",
     "attach_trace_context",
     "read_trace_context",
     "strip_trace_context",
+    "attach_epoch",
+    "read_epoch",
+    "strip_epoch",
     "pack_telemetry",
     "unpack_telemetry",
     "sendmsg_all",
@@ -75,10 +81,20 @@ FLAG_TRACED = 0x02
 #: telemetry frame (compact metric deltas for the health plane's
 #: aggregation sink) — consumed at the mux hub, never forwarded to a dst
 FLAG_TELEMETRY = 0x04
+#: checkpoint frame (replicated subsystem state for failover) — routed to
+#: the dst like data, but diverted to the dst's checkpoint sink instead of
+#: the ordinary receive queue
+FLAG_CHECKPOINT = 0x08
+#: the payload carries a packed cluster-epoch prefix (after the trace
+#: context when both flags are set); the mux hub may fence stale epochs
+FLAG_EPOCH = 0x10
 
 #: trace-context prefix carried by FLAG_TRACED payloads:
 #: sampled flag, trace id, span id (17 bytes)
 TRACE_CTX = struct.Struct(">BQQ")
+
+#: cluster-epoch prefix carried by FLAG_EPOCH payloads (8 bytes)
+EPOCH_CTX = struct.Struct(">Q")
 
 #: scatter-gather batches stay well under IOV_MAX (1024 on Linux)
 _IOV_BATCH = 256
@@ -115,6 +131,38 @@ def strip_trace_context(payload):
         del payload[: TRACE_CTX.size]
         return payload
     return payload[TRACE_CTX.size :]
+
+
+def attach_epoch(payload, epoch: int) -> tuple[bytes, int]:
+    """Prefix ``payload`` with the packed cluster epoch.
+
+    Returns ``(new_payload, FLAG_EPOCH)``.  The epoch prefix sits *inside*
+    the trace context on the wire (``[trace][epoch][app]``): callers attach
+    the epoch first, then trace-wrap, so the mux hub still peeks the trace
+    context at offset 0 and reads the epoch at a flag-dependent offset.
+    """
+    return EPOCH_CTX.pack(epoch) + payload, FLAG_EPOCH
+
+
+def read_epoch(payload, flags: int) -> int:
+    """Read the cluster epoch from an epoch-stamped payload without
+    consuming it (the hub peeks when fencing; only the final receiver
+    strips)."""
+    off = TRACE_CTX.size if flags & FLAG_TRACED else 0
+    if len(payload) < off + EPOCH_CTX.size:
+        raise FrameError("epoch-stamped payload shorter than its prefix")
+    return EPOCH_CTX.unpack_from(payload, off)[0]
+
+
+def strip_epoch(payload):
+    """Remove the epoch prefix (call after :func:`strip_trace_context`
+    when both flags are set), returning the application payload."""
+    if len(payload) < EPOCH_CTX.size:
+        raise FrameError("epoch-stamped payload shorter than its prefix")
+    if isinstance(payload, bytearray):
+        del payload[: EPOCH_CTX.size]
+        return payload
+    return payload[EPOCH_CTX.size :]
 
 
 #: telemetry payload header: version, flags (reserved), site-name length

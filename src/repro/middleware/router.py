@@ -23,7 +23,14 @@ from .. import obs
 from .client import EndpointRegistry, MWClient
 from .fastpath import InprocMuxRouter, MuxRouter
 from .hashring import ConsistentHashRing
-from .message import FLAG_TELEMETRY, FLAG_TRACED, attach_trace_context
+from .message import (
+    FLAG_CHECKPOINT,
+    FLAG_EPOCH,
+    FLAG_TELEMETRY,
+    FLAG_TRACED,
+    attach_epoch,
+    attach_trace_context,
+)
 from .pipeline import MifComponent, MifPipeline
 from .transports import InprocTransport
 
@@ -173,9 +180,14 @@ class MiddlewareFabric:
             raise KeyError(f"no pipeline for {src} -> {dst}") from exc
         self.clients[src].send(inbound, payload)
 
-    def send_many(self, src: str, frames) -> None:
+    def send_many(self, src: str, frames, *, epoch: int | None = None) -> None:
         """Send a burst of ``(dst, payload)`` frames from one site; on the
-        fast plane they all ride one scatter-gather syscall."""
+        fast plane they all ride one scatter-gather syscall.
+
+        ``epoch`` (fast plane only) stamps every frame with the cluster
+        epoch so the hub's fence can reject a zombie sender's frames
+        after a failover (see :meth:`set_epoch_fence`).
+        """
         frames = list(frames)
         if not frames:
             return
@@ -184,12 +196,17 @@ class MiddlewareFabric:
                 self._check_pair(src, dst)
             nbytes = sum(len(p) for _, p in frames)
             flags = 0
+            if epoch is not None:
+                # epoch sits inside the trace context on the wire: attach
+                # it first, trace-wrap after
+                frames = [(dst, attach_epoch(p, epoch)[0]) for dst, p in frames]
+                flags |= FLAG_EPOCH
             ctx = obs.current_context()
             if ctx is not None and ctx.sampled:
                 frames = [
                     (dst, attach_trace_context(p, ctx)[0]) for dst, p in frames
                 ]
-                flags = FLAG_TRACED
+                flags |= FLAG_TRACED
             self._links[src].send_many(
                 ((self._ids[dst], payload) for dst, payload in frames),
                 flags=flags,
@@ -267,6 +284,58 @@ class MiddlewareFabric:
         self._links[src].send(0, payload, flags=FLAG_TELEMETRY)
         if obs.enabled():
             obs.metrics().counter("mw.telemetry_frames_sent_total").inc()
+
+    # -- recovery plane ------------------------------------------------
+    def set_checkpoint_sink(self, name: str, sink) -> None:
+        """Divert ``FLAG_CHECKPOINT`` frames addressed to site ``name``
+        into ``sink(payload)`` instead of its ordinary receive queue (the
+        recovery replica plane).  Fast plane only."""
+        if not self.fast or self._hub is None:
+            raise RuntimeError(
+                "checkpoint frames ride the fast plane "
+                "(MiddlewareFabric(fast=True), started)"
+            )
+        link = self._links[name]
+        if hasattr(link, "checkpoint_sink"):
+            # TCP: the frame is forwarded by the hub and diverted at the
+            # receiving link's edge
+            link.checkpoint_sink = sink
+        else:
+            # inproc: the hub delivers directly
+            self._hub.set_checkpoint_sink(self._ids[name], sink)
+
+    def send_checkpoint(
+        self, src: str, dst: str, payload: bytes, *, epoch: int = 0
+    ) -> None:
+        """Replicate one checkpoint payload from ``src`` to ``dst``'s
+        checkpoint sink, stamped with the cluster ``epoch``."""
+        if not self.fast:
+            raise RuntimeError("checkpoint frames ride the fast plane only")
+        self._check_pair(src, dst)
+        nbytes = len(payload)
+        payload, _ = attach_epoch(payload, epoch)
+        self._links[src].send(
+            self._ids[dst], payload, flags=FLAG_CHECKPOINT | FLAG_EPOCH
+        )
+        self.clients[src].bytes_sent += nbytes
+        if obs.enabled():
+            obs.metrics().counter("mw.checkpoint_frames_sent_total").inc()
+
+    def set_epoch_fence(self, fence) -> None:
+        """Install ``fence(src_id, epoch) -> bool`` at the mux hub; frames
+        stamped with a fenced (stale) epoch are dropped before routing.
+        Fast plane only."""
+        if not self.fast or self._hub is None:
+            raise RuntimeError(
+                "epoch fencing needs the fast plane "
+                "(MiddlewareFabric(fast=True), started)"
+            )
+        self._hub.set_epoch_fence(fence)
+
+    def site_id(self, name: str) -> int:
+        """The wire-level id of site ``name`` (fence callbacks receive
+        ids, not names)."""
+        return self._ids[name]
 
     def recv(self, name: str, *, timeout: float = 5.0) -> bytes:
         """Take the next payload delivered to estimator ``name``."""

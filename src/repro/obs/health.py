@@ -59,7 +59,14 @@ __all__ = [
 
 #: event kinds that auto-dump a blackbox when the recorder has a dump dir
 DEFAULT_TRIGGERS = frozenset(
-    {"frame.degraded", "shard.lost", "shed.burst", "watchdog.stall"}
+    {
+        "frame.degraded",
+        "shard.lost",
+        "shed.burst",
+        "watchdog.stall",
+        "site.lost",
+        "site.recovered",
+    }
 )
 
 
@@ -649,6 +656,16 @@ class HealthMonitor:
 
     def frame_degraded(self, source: str, **detail) -> HealthEvent:
         return self.emit("frame.degraded", source, **detail)
+
+    def site_lost(self, site: str, **detail) -> HealthEvent:
+        """A DSE site's lease expired (recovery plane): its checkpoints
+        stopped arriving and the coordinator declared it lost."""
+        return self.emit("site.lost", site, severity="critical", **detail)
+
+    def site_recovered(self, source: str, **detail) -> HealthEvent:
+        """A lost subsystem resumed on its checkpoint replica (failover
+        promotion completed, or a degraded frame cleared)."""
+        return self.emit("site.recovered", source, severity="info", **detail)
 
     def note_shed(self, source: str, cause: str) -> None:
         """Count a shed request toward burst detection: ``shed_burst``

@@ -109,6 +109,7 @@ class RouterStats:
         self.spilled = 0       # re-dispatches after an overloaded shard
         self.shed = 0          # requests that failed typed at the caller
         self.replicas_lost = 0
+        self.restored = 0      # replicas re-admitted after a loss
 
     def _bump(self, attr: str, n: int = 1) -> None:
         with self._lock:
@@ -127,6 +128,7 @@ class RouterStats:
                 "spilled": self.spilled,
                 "shed": self.shed,
                 "replicas_lost": self.replicas_lost,
+                "restored": self.restored,
             }
 
 
@@ -207,6 +209,20 @@ class ShardRouter:
             self._shards[name] = service
             self._dead.discard(name)
         self._ring.add(name)
+
+    def restore_shard(self, name: str, service: ScenarioService) -> None:
+        """Re-admit a previously lost/killed replica under its old name
+        with a fresh service: it takes back its keyspace slice, and the
+        health plane records the recovery (counterpart of the
+        ``shard.lost`` event :meth:`_mark_lost` emits)."""
+        self.add_shard(name, service)
+        self.stats._bump("restored")
+        if obs.enabled():
+            obs.metrics().counter(
+                "router.shards_restored_total", shard=name
+            ).inc()
+        if obs.health_enabled():
+            obs.health().site_recovered(name, origin="serving")
 
     def remove_shard(self, name: str, *, drain: bool = True) -> None:
         """Take a replica out of rotation.

@@ -35,6 +35,7 @@ def _load(name: str):
         ("batch_sweep", "speedup"),
         ("condensed_dse", "smaller"),
         ("health_demo", "blackbox written"),
+        ("recovery_demo", "recovered"),
     ],
 )
 def test_example_runs(capsys, name, marker):

@@ -231,6 +231,21 @@ class TestShardRouter:
             more = router.submit_estimation().result(timeout=60)
             assert more.shard == "s1"
 
+    def test_restore_shard_readmits_killed_replica(self, serving14):
+        dec, ms = serving14
+        with ShardRouter(
+            {"s0": _replica(dec, ms), "s1": _replica(dec, ms)}, grid="g"
+        ) as router:
+            router.kill_shard("s0")
+            assert router.live_shards() == ["s1"]
+            # restart: same name, fresh service — takes back its slice
+            router.restore_shard("s0", _replica(dec, ms))
+            assert router.live_shards() == ["s0", "s1"]
+            got = router.submit_estimation().result(timeout=60)
+            assert got.shard in ("s0", "s1")
+            assert router.stats.restored == 1
+            assert router.stats.to_dict()["restored"] == 1
+
     def test_all_shards_lost_fails_typed(self, serving14):
         dec, ms = serving14
         with ShardRouter({"s0": _replica(dec, ms)}, grid="g") as router:
